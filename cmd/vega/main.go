@@ -1,0 +1,122 @@
+// Command vega drives the VEGA pipeline end to end: it builds the backend
+// corpus, templatizes function groups, mines features, fine-tunes CodeBE,
+// and generates a complete compiler backend for a held-out target from its
+// target description files, annotating every statement with a confidence
+// score.
+//
+// Usage:
+//
+//	vega -target RISCV [-epochs 14] [-samples 2600] [-arch transformer]
+//	     [-out generated/] [-seed 1] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vega/internal/core"
+	"vega/internal/corpus"
+	"vega/internal/eval"
+	"vega/internal/template"
+)
+
+func main() {
+	var (
+		target  = flag.String("target", "RISCV", "held-out target to generate (RISCV, RI5CY, XCore)")
+		epochs  = flag.Int("epochs", 14, "fine-tuning epochs")
+		samples = flag.Int("samples", 2600, "max deduplicated training samples")
+		arch    = flag.String("arch", "transformer", "model architecture: transformer, gru, bert")
+		outDir  = flag.String("out", "", "directory to write generated functions into")
+		seed    = flag.Int64("seed", 1, "random seed")
+		quiet   = flag.Bool("quiet", false, "suppress per-epoch logs")
+		evaluap = flag.Bool("eval", true, "run pass@1 evaluation against the reference backend")
+		saveCk  = flag.String("save", "", "write a model checkpoint after training")
+		loadCk  = flag.String("load", "", "load a model checkpoint instead of training")
+	)
+	flag.Parse()
+
+	if corpus.FindTarget(*target) == nil {
+		fmt.Fprintf(os.Stderr, "vega: unknown target %q\n", *target)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	c, err := corpus.Build()
+	check(err)
+	fmt.Printf("corpus: %d backends, LLVM core + description files rendered\n", len(c.Backends))
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Train.Epochs = *epochs
+	cfg.MaxSamples = *samples
+	cfg.Arch = *arch
+	if !*quiet {
+		cfg.Train.Verbose = func(e int, l float64) {
+			fmt.Printf("  epoch %2d  loss %.4f  (%s)\n", e, l, time.Since(start).Round(time.Second))
+		}
+	}
+
+	p, err := core.New(c, cfg)
+	check(err)
+	st := p.Stats()
+	fmt.Printf("stage 1: %d function groups templatized, %d properties mined, %d/%d train/verify functions\n",
+		st.Groups, st.Properties, st.TrainFunctions, st.VerifyFunctions)
+
+	if *loadCk != "" {
+		check(p.Load(*loadCk))
+		fmt.Printf("stage 2: loaded checkpoint %s\n", *loadCk)
+	} else {
+		res, err := p.Train()
+		check(err)
+		fmt.Printf("stage 2: %d samples, vocab %d, verification exact match %.1f%% (%s)\n",
+			res.Samples, res.VocabSize, 100*res.VerifyExactMatch, time.Since(start).Round(time.Second))
+		if *saveCk != "" {
+			check(p.Save(*saveCk))
+			fmt.Printf("checkpoint written to %s\n", *saveCk)
+		}
+	}
+
+	gen := p.GenerateBackend(*target)
+	fmt.Printf("stage 3: %s\n", core.Describe(gen))
+	for _, m := range corpus.Modules {
+		if sec, ok := gen.Seconds[string(m)]; ok {
+			fmt.Printf("  %s: %.1fs\n", m, sec)
+		}
+	}
+
+	if *outDir != "" {
+		check(os.MkdirAll(*outDir, 0o755))
+		for _, f := range gen.Functions {
+			path := filepath.Join(*outDir, fmt.Sprintf("%s_%s.cpp.txt", f.Module, f.Name))
+			check(os.WriteFile(path, []byte(f.RenderAnnotated()), 0o644))
+		}
+		fmt.Printf("wrote %d annotated functions to %s\n", len(gen.Functions), *outDir)
+	}
+
+	if *evaluap {
+		templates := map[string]*template.FunctionTemplate{}
+		for _, g := range p.Groups {
+			templates[g.Func.Name] = g.FT
+		}
+		be := eval.EvaluateBackend(gen, c.Backends[*target], templates)
+		tot := be.Totals()
+		fmt.Printf("pass@1: %d/%d functions accurate (%.1f%%), %d/%d statements (%.1f%%)\n",
+			tot.Accurate, tot.Funcs, 100*tot.FunctionAccuracy(),
+			tot.AccurateStatements, tot.RefStatements, 100*tot.StatementAccuracy())
+		for _, m := range be.ByModule() {
+			fmt.Printf("  %-3s  %d/%d accurate  (%.0f%% statements)\n",
+				m.Module, m.Accurate, m.Funcs, 100*m.StatementAccuracy())
+		}
+	}
+	fmt.Printf("done in %s\n", time.Since(start).Round(time.Second))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vega:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module vega
+
+go 1.24

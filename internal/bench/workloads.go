@@ -1,0 +1,250 @@
+// Package bench generates the three benchmark suites of the paper's
+// performance evaluation (Fig. 10): 28 SPEC CPU2017-like C/C++ workloads
+// for RISC-V, 69 PULP-regression-like kernels for RI5CY, and 22
+// Embench-like embedded programs for xCORE. The programs are synthetic
+// but shaped like their namesakes: SPEC-like workloads are big, branchy
+// and call-heavy; PULP-like kernels are tight DSP loops that reward
+// hardware loops and SIMD; Embench-like programs are small integer
+// kernels.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vega/internal/compiler"
+)
+
+// Workload is one benchmark program with its entry point.
+type Workload struct {
+	Name    string
+	Program *compiler.Program
+	Entry   string
+	Args    []int64
+}
+
+// SPECLike generates the 28-benchmark RISC-V suite.
+func SPECLike() []Workload {
+	names := []string{
+		"perlbench", "gcc", "mcf", "omnetpp", "xalancbmk", "x264",
+		"deepsjeng", "leela", "exchange2", "xz", "bwaves", "cactuBSSN",
+		"namd", "parest", "povray", "lbm", "wrf", "blender", "cam4",
+		"imagick", "nab", "fotonik3d", "roms", "specrand", "gzip2",
+		"vortex2", "twolf2", "crafty2",
+	}
+	out := make([]Workload, 0, len(names))
+	for i, n := range names {
+		out = append(out, synthWorkload("spec."+n, int64(101+i*7), 3, 40, true))
+	}
+	return out
+}
+
+// PULPLike generates the 69-test RI5CY suite: DSP kernels.
+func PULPLike() []Workload {
+	kinds := []string{"dotp", "vecadd", "fir", "matmul", "conv", "maxpool"}
+	out := make([]Workload, 0, 69)
+	for i := 0; i < 69; i++ {
+		kind := kinds[i%len(kinds)]
+		out = append(out, dspWorkload(fmt.Sprintf("pulp.%s_%02d", kind, i), kind, int64(3001+i*13)))
+	}
+	return out
+}
+
+// EmbenchLike generates the 22-benchmark xCORE suite.
+func EmbenchLike() []Workload {
+	names := []string{
+		"aha-mont64", "crc32", "cubic", "edn", "huffbench", "matmult-int",
+		"md5sum", "minver", "nbody", "nettle-aes", "nettle-sha256",
+		"nsichneu", "picojpeg", "primecount", "qrduino", "sglib-combined",
+		"slre", "st", "statemate", "tarfind", "ud", "wikisort",
+	}
+	out := make([]Workload, 0, len(names))
+	for i, n := range names {
+		out = append(out, synthWorkload("embench."+n, int64(501+i*11), 2, 16, false))
+	}
+	return out
+}
+
+// SuiteFor maps an evaluation target to its suite, per the paper.
+func SuiteFor(target string) []Workload {
+	switch target {
+	case "RISCV":
+		return SPECLike()
+	case "RI5CY":
+		return PULPLike()
+	case "XCore":
+		return EmbenchLike()
+	}
+	return nil
+}
+
+// synthWorkload builds a branchy, loopy, call-using integer program.
+// depth controls loop nesting, n the data size.
+func synthWorkload(name string, seed int64, depth, n int, calls bool) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	p := &compiler.Program{
+		Arrays: map[string]int{"data": n, "out": n},
+		Init:   map[string][]int64{"data": randInit(rng, n)},
+		Funcs:  []*compiler.Function{},
+	}
+	if calls {
+		p.Funcs = append(p.Funcs, &compiler.Function{
+			Name:   "mix",
+			Params: []string{"a", "b"},
+			Body: []compiler.Stmt{
+				compiler.If{
+					Cond: compiler.Bin{Op: ">", L: compiler.Var{Name: "a"}, R: compiler.Var{Name: "b"}},
+					Then: []compiler.Stmt{compiler.Return{E: compiler.Bin{Op: "-", L: compiler.Var{Name: "a"}, R: compiler.Var{Name: "b"}}}},
+					Else: []compiler.Stmt{compiler.Return{E: compiler.Bin{Op: "+", L: compiler.Var{Name: "a"}, R: compiler.Bin{Op: "*", L: compiler.Var{Name: "b"}, R: compiler.Const{Value: 2}}}}},
+				},
+			},
+		})
+	}
+	var body []compiler.Stmt
+	body = append(body, compiler.Assign{Name: "acc", E: compiler.Const{Value: 0}})
+	for d := 0; d < depth; d++ {
+		v := fmt.Sprintf("i%d", d)
+		inner := []compiler.Stmt{
+			compiler.Assign{Name: "t", E: compiler.Bin{
+				Op: "+",
+				L:  compiler.Load{Array: "data", Index: compiler.Bin{Op: "%", L: compiler.Var{Name: v}, R: compiler.Const{Value: int64(n)}}},
+				R:  compiler.Var{Name: "acc"},
+			}},
+			compiler.If{
+				Cond: compiler.Bin{Op: ">", L: compiler.Var{Name: "t"}, R: compiler.Const{Value: int64(rng.Intn(50))}},
+				Then: []compiler.Stmt{compiler.Assign{Name: "acc", E: compiler.Bin{Op: "-", L: compiler.Var{Name: "t"}, R: compiler.Const{Value: 3}}}},
+				Else: []compiler.Stmt{compiler.Assign{Name: "acc", E: compiler.Bin{Op: "+", L: compiler.Var{Name: "t"}, R: compiler.Const{Value: int64(1 + rng.Intn(4))}}}},
+			},
+			compiler.Store{Array: "out",
+				Index: compiler.Bin{Op: "%", L: compiler.Var{Name: v}, R: compiler.Const{Value: int64(n)}},
+				Value: compiler.Var{Name: "acc"}},
+		}
+		if calls && d == depth-1 {
+			inner = append(inner, compiler.Assign{Name: "acc", E: compiler.CallExpr{
+				Name: "mix",
+				Args: []compiler.Expr{compiler.Var{Name: "acc"}, compiler.Var{Name: v}},
+			}})
+		}
+		body = append(body, compiler.For{
+			Var: v, From: compiler.Const{Value: 0}, To: compiler.Const{Value: int64(n + d*5)},
+			Body: inner,
+		})
+	}
+	body = append(body, compiler.Return{E: compiler.Var{Name: "acc"}})
+	p.Funcs = append(p.Funcs, &compiler.Function{Name: "main", Body: body})
+	return Workload{Name: name, Program: p, Entry: "main"}
+}
+
+// dspWorkload builds DSP kernels whose inner loops are hardware-loop and
+// SIMD friendly.
+func dspWorkload(name, kind string, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	const n = 64
+	p := &compiler.Program{
+		Arrays: map[string]int{"a": n, "b": n, "c": n},
+		Init: map[string][]int64{
+			"a": randInit(rng, n),
+			"b": randInit(rng, n),
+		},
+	}
+	var body []compiler.Stmt
+	switch kind {
+	case "vecadd":
+		body = []compiler.Stmt{
+			compiler.For{Var: "i", From: compiler.Const{Value: 0}, To: compiler.Const{Value: n},
+				Body: []compiler.Stmt{
+					compiler.Store{Array: "c", Index: compiler.Var{Name: "i"},
+						Value: compiler.Bin{Op: "+",
+							L: compiler.Load{Array: "a", Index: compiler.Var{Name: "i"}},
+							R: compiler.Load{Array: "b", Index: compiler.Var{Name: "i"}}}},
+				}},
+			compiler.Return{E: compiler.Load{Array: "c", Index: compiler.Const{Value: n - 1}}},
+		}
+	case "dotp":
+		body = []compiler.Stmt{
+			compiler.Assign{Name: "s", E: compiler.Const{Value: 0}},
+			compiler.For{Var: "i", From: compiler.Const{Value: 0}, To: compiler.Const{Value: n},
+				Body: []compiler.Stmt{
+					compiler.Assign{Name: "s", E: compiler.Bin{Op: "+",
+						L: compiler.Var{Name: "s"},
+						R: compiler.Bin{Op: "*",
+							L: compiler.Load{Array: "a", Index: compiler.Var{Name: "i"}},
+							R: compiler.Load{Array: "b", Index: compiler.Var{Name: "i"}}}}},
+				}},
+			compiler.Return{E: compiler.Var{Name: "s"}},
+		}
+	case "fir":
+		body = []compiler.Stmt{
+			compiler.Assign{Name: "s", E: compiler.Const{Value: 0}},
+			compiler.For{Var: "i", From: compiler.Const{Value: 0}, To: compiler.Const{Value: n - 4},
+				Body: []compiler.Stmt{
+					compiler.Assign{Name: "s", E: compiler.Const{Value: 0}},
+					compiler.For{Var: "k", From: compiler.Const{Value: 0}, To: compiler.Const{Value: 4},
+						Body: []compiler.Stmt{
+							compiler.Assign{Name: "s", E: compiler.Bin{Op: "+",
+								L: compiler.Var{Name: "s"},
+								R: compiler.Bin{Op: "*",
+									L: compiler.Load{Array: "a", Index: compiler.Bin{Op: "+", L: compiler.Var{Name: "i"}, R: compiler.Var{Name: "k"}}},
+									R: compiler.Load{Array: "b", Index: compiler.Var{Name: "k"}}}}},
+						}},
+					compiler.Store{Array: "c", Index: compiler.Var{Name: "i"}, Value: compiler.Var{Name: "s"}},
+				}},
+			compiler.Return{E: compiler.Load{Array: "c", Index: compiler.Const{Value: 0}}},
+		}
+	case "matmul":
+		const m = 8
+		body = []compiler.Stmt{
+			compiler.For{Var: "i", From: compiler.Const{Value: 0}, To: compiler.Const{Value: m},
+				Body: []compiler.Stmt{
+					compiler.For{Var: "j", From: compiler.Const{Value: 0}, To: compiler.Const{Value: m},
+						Body: []compiler.Stmt{
+							compiler.Assign{Name: "s", E: compiler.Const{Value: 0}},
+							compiler.For{Var: "k", From: compiler.Const{Value: 0}, To: compiler.Const{Value: m},
+								Body: []compiler.Stmt{
+									compiler.Assign{Name: "s", E: compiler.Bin{Op: "+",
+										L: compiler.Var{Name: "s"},
+										R: compiler.Bin{Op: "*",
+											L: compiler.Load{Array: "a", Index: compiler.Bin{Op: "+", L: compiler.Bin{Op: "*", L: compiler.Var{Name: "i"}, R: compiler.Const{Value: m}}, R: compiler.Var{Name: "k"}}},
+											R: compiler.Load{Array: "b", Index: compiler.Bin{Op: "+", L: compiler.Bin{Op: "*", L: compiler.Var{Name: "k"}, R: compiler.Const{Value: m}}, R: compiler.Var{Name: "j"}}}}}},
+								}},
+							compiler.Store{Array: "c", Index: compiler.Bin{Op: "+", L: compiler.Bin{Op: "*", L: compiler.Var{Name: "i"}, R: compiler.Const{Value: m}}, R: compiler.Var{Name: "j"}}, Value: compiler.Var{Name: "s"}},
+						}},
+				}},
+			compiler.Return{E: compiler.Load{Array: "c", Index: compiler.Const{Value: m*m - 1}}},
+		}
+	case "conv":
+		body = []compiler.Stmt{
+			compiler.For{Var: "i", From: compiler.Const{Value: 1}, To: compiler.Const{Value: n - 1},
+				Body: []compiler.Stmt{
+					compiler.Store{Array: "c", Index: compiler.Var{Name: "i"},
+						Value: compiler.Bin{Op: "+",
+							L: compiler.Load{Array: "a", Index: compiler.Bin{Op: "-", L: compiler.Var{Name: "i"}, R: compiler.Const{Value: 1}}},
+							R: compiler.Bin{Op: "+",
+								L: compiler.Bin{Op: "*", L: compiler.Load{Array: "a", Index: compiler.Var{Name: "i"}}, R: compiler.Const{Value: 2}},
+								R: compiler.Load{Array: "a", Index: compiler.Bin{Op: "+", L: compiler.Var{Name: "i"}, R: compiler.Const{Value: 1}}}}}},
+				}},
+			compiler.Return{E: compiler.Load{Array: "c", Index: compiler.Const{Value: n / 2}}},
+		}
+	default: // maxpool
+		body = []compiler.Stmt{
+			compiler.Assign{Name: "m", E: compiler.Const{Value: -1 << 30}},
+			compiler.For{Var: "i", From: compiler.Const{Value: 0}, To: compiler.Const{Value: n},
+				Body: []compiler.Stmt{
+					compiler.Assign{Name: "v", E: compiler.Load{Array: "a", Index: compiler.Var{Name: "i"}}},
+					compiler.If{Cond: compiler.Bin{Op: ">", L: compiler.Var{Name: "v"}, R: compiler.Var{Name: "m"}},
+						Then: []compiler.Stmt{compiler.Assign{Name: "m", E: compiler.Var{Name: "v"}}}},
+				}},
+			compiler.Return{E: compiler.Var{Name: "m"}},
+		}
+	}
+	p.Funcs = []*compiler.Function{{Name: "main", Body: body}}
+	return Workload{Name: name, Program: p, Entry: "main"}
+}
+
+func randInit(rng *rand.Rand, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(rng.Intn(97)) - 31
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"testing"
+
+	"vega/internal/compiler"
+)
+
+func TestSuiteSizes(t *testing.T) {
+	if n := len(SPECLike()); n != 28 {
+		t.Errorf("SPEC-like = %d, want 28 (paper's C/C++ subset)", n)
+	}
+	if n := len(PULPLike()); n != 69 {
+		t.Errorf("PULP-like = %d, want 69", n)
+	}
+	if n := len(EmbenchLike()); n != 22 {
+		t.Errorf("Embench-like = %d, want 22", n)
+	}
+}
+
+func TestWorkloadsValidate(t *testing.T) {
+	for _, suite := range [][]Workload{SPECLike(), PULPLike(), EmbenchLike()} {
+		for _, w := range suite {
+			if err := w.Program.Validate(); err != nil {
+				t.Errorf("%s: %v", w.Name, err)
+			}
+			if w.Program.Func(w.Entry) == nil {
+				t.Errorf("%s: entry %q missing", w.Name, w.Entry)
+			}
+		}
+	}
+}
+
+func TestWorkloadNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, suite := range [][]Workload{SPECLike(), PULPLike(), EmbenchLike()} {
+		for _, w := range suite {
+			if seen[w.Name] {
+				t.Errorf("duplicate workload name %s", w.Name)
+			}
+			seen[w.Name] = true
+		}
+	}
+}
+
+func TestSuiteForMapping(t *testing.T) {
+	if len(SuiteFor("RISCV")) != 28 || len(SuiteFor("RI5CY")) != 69 || len(SuiteFor("XCore")) != 22 {
+		t.Error("SuiteFor maps the wrong suites")
+	}
+	if SuiteFor("ARM") != nil {
+		t.Error("training targets have no evaluation suite")
+	}
+}
+
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	a := SPECLike()[0]
+	b := SPECLike()[0]
+	if a.Program.Init["data"][0] != b.Program.Init["data"][0] {
+		t.Error("workload generation not deterministic")
+	}
+}
+
+func TestPULPKernelsVectorizable(t *testing.T) {
+	// At least the vecadd kernels must contain the canonical
+	// store(load+load) loop shape the vectorizer keys on.
+	var found bool
+	for _, w := range PULPLike() {
+		f := w.Program.Func("main")
+		for _, st := range f.Body {
+			if loop, ok := st.(compiler.For); ok && len(loop.Body) == 1 {
+				if _, ok := loop.Body[0].(compiler.Store); ok {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no vectorizable kernels in the PULP-like suite")
+	}
+}

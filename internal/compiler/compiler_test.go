@@ -1,0 +1,231 @@
+package compiler
+
+import (
+	"testing"
+
+	"vega/internal/corpus"
+)
+
+func tablesFor(t *testing.T, name string) *Tables {
+	t.Helper()
+	spec := corpus.FindTarget(name)
+	if spec == nil {
+		t.Fatalf("unknown target %s", name)
+	}
+	return TablesFromSpec(spec)
+}
+
+func simpleProgram() *Program {
+	return &Program{
+		Arrays: map[string]int{"a": 8},
+		Init:   map[string][]int64{"a": {1, 2, 3, 4, 5, 6, 7, 8}},
+		Funcs: []*Function{{
+			Name: "main",
+			Body: []Stmt{
+				Assign{Name: "s", E: Const{Value: 0}},
+				For{Var: "i", From: Const{Value: 0}, To: Const{Value: 8},
+					Body: []Stmt{
+						Assign{Name: "s", E: Bin{Op: "+", L: Var{Name: "s"}, R: Load{Array: "a", Index: Var{Name: "i"}}}},
+					}},
+				Return{E: Var{Name: "s"}},
+			},
+		}},
+	}
+}
+
+func TestCompileBothLevels(t *testing.T) {
+	tb := tablesFor(t, "RISCV")
+	for _, opt := range []int{0, 3} {
+		obj, err := Compile(simpleProgram(), tb, opt)
+		if err != nil {
+			t.Fatalf("O%d: %v", opt, err)
+		}
+		if len(obj.Funcs["main"].Code) == 0 {
+			t.Fatalf("O%d: empty code", opt)
+		}
+	}
+}
+
+func TestO3SmallerThanO0(t *testing.T) {
+	tb := tablesFor(t, "RISCV")
+	o0, err := Compile(simpleProgram(), tb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o3, err := Compile(simpleProgram(), tb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o3.Funcs["main"].Code) >= len(o0.Funcs["main"].Code) {
+		t.Errorf("O3 (%d insts) not smaller than O0 (%d insts)",
+			len(o3.Funcs["main"].Code), len(o0.Funcs["main"].Code))
+	}
+}
+
+func TestHardwareLoopEmission(t *testing.T) {
+	tb := tablesFor(t, "RI5CY")
+	if tb.HWLoopStart == 0 {
+		t.Fatal("RI5CY should have hardware loops")
+	}
+	p := &Program{
+		Arrays: map[string]int{"a": 8},
+		Funcs: []*Function{{
+			Name: "main",
+			Body: []Stmt{
+				Assign{Name: "s", E: Const{Value: 0}},
+				For{Var: "i", From: Const{Value: 0}, To: Const{Value: 8},
+					Body: []Stmt{Assign{Name: "s", E: Bin{Op: "+", L: Var{Name: "s"}, R: Var{Name: "i"}}}}},
+				Return{E: Var{Name: "s"}},
+			},
+		}},
+	}
+	obj, err := Compile(p, tb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, in := range obj.Funcs["main"].Code {
+		if in.Kind == KLoopStart {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no hardware loop emitted at O3")
+	}
+	// O0 must not use hardware loops.
+	obj0, _ := Compile(p, tb, 0)
+	for _, in := range obj0.Funcs["main"].Code {
+		if in.Kind == KLoopStart {
+			t.Error("hardware loop at O0")
+		}
+	}
+}
+
+func TestSIMDVectorization(t *testing.T) {
+	tb := tablesFor(t, "RI5CY")
+	p := &Program{
+		Arrays: map[string]int{"a": 8, "b": 8, "c": 8},
+		Funcs: []*Function{{
+			Name: "main",
+			Body: []Stmt{
+				For{Var: "i", From: Const{Value: 0}, To: Const{Value: 8},
+					Body: []Stmt{
+						Store{Array: "c", Index: Var{Name: "i"},
+							Value: Bin{Op: "+", L: Load{Array: "a", Index: Var{Name: "i"}}, R: Load{Array: "b", Index: Var{Name: "i"}}}},
+					}},
+				Return{E: Const{Value: 0}},
+			},
+		}},
+	}
+	obj, err := Compile(p, tb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var simd bool
+	for _, in := range obj.Funcs["main"].Code {
+		if in.Kind == KSIMD {
+			simd = true
+		}
+	}
+	if !simd {
+		t.Error("no SIMD emitted for vectorizable loop")
+	}
+	// RISCV (no SIMD) must lower the same loop scalar.
+	objRV, err := Compile(p, tablesFor(t, "RISCV"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range objRV.Funcs["main"].Code {
+		if in.Kind == KSIMD {
+			t.Error("SIMD emitted for a non-SIMD target")
+		}
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	folded := foldExpr(Bin{Op: "+", L: Const{Value: 2}, R: Bin{Op: "*", L: Const{Value: 3}, R: Const{Value: 4}}})
+	if c, ok := folded.(Const); !ok || c.Value != 14 {
+		t.Errorf("folded = %#v", folded)
+	}
+	ident := foldExpr(Bin{Op: "+", L: Var{Name: "x"}, R: Const{Value: 0}})
+	if _, ok := ident.(Var); !ok {
+		t.Errorf("x+0 not simplified: %#v", ident)
+	}
+}
+
+func TestBranchFolding(t *testing.T) {
+	body := foldStmts([]Stmt{
+		If{Cond: Bin{Op: "<", L: Const{Value: 1}, R: Const{Value: 2}},
+			Then: []Stmt{Assign{Name: "x", E: Const{Value: 1}}},
+			Else: []Stmt{Assign{Name: "x", E: Const{Value: 2}}}},
+	})
+	if len(body) != 1 {
+		t.Fatalf("folded body = %#v", body)
+	}
+	if a, ok := body[0].(Assign); !ok || a.E.(Const).Value != 1 {
+		t.Errorf("wrong branch kept: %#v", body[0])
+	}
+}
+
+func TestPowerOfTwo(t *testing.T) {
+	if k, ok := powerOfTwo(Bin{Op: "*", L: Var{Name: "x"}, R: Const{Value: 8}}); !ok || k != 3 {
+		t.Errorf("x*8: k=%d ok=%v", k, ok)
+	}
+	if _, ok := powerOfTwo(Bin{Op: "*", L: Var{Name: "x"}, R: Const{Value: 6}}); ok {
+		t.Error("x*6 must not strength-reduce")
+	}
+	if _, ok := powerOfTwo(Bin{Op: "+", L: Var{Name: "x"}, R: Const{Value: 8}}); ok {
+		t.Error("x+8 must not strength-reduce")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	p := &Program{
+		Arrays: map[string]int{},
+		Funcs: []*Function{{
+			Name: "main",
+			Body: []Stmt{Store{Array: "nope", Index: Const{Value: 0}, Value: Const{Value: 1}}},
+		}},
+	}
+	if _, err := Compile(p, tablesFor(t, "RISCV"), 0); err == nil {
+		t.Error("expected validation error")
+	}
+	p2 := &Program{
+		Arrays: map[string]int{},
+		Funcs: []*Function{{
+			Name: "main",
+			Body: []Stmt{Assign{Name: "x", E: CallExpr{Name: "ghost"}}},
+		}},
+	}
+	if _, err := Compile(p2, tablesFor(t, "RISCV"), 0); err == nil {
+		t.Error("expected unknown-function error")
+	}
+}
+
+func TestTablesFromBackendMatchesSpec(t *testing.T) {
+	// Extracting tables by interpreting the reference backend must agree
+	// with the spec-derived tables.
+	for _, name := range []string{"RISCV", "RI5CY", "XCore"} {
+		spec := corpus.FindTarget(name)
+		b, err := corpus.BuildBackend(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := newTestEnv(t, b)
+		got, err := TablesFromBackend(spec, b.Funcs, env)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := TablesFromSpec(spec)
+		if got.LoadOp != want.LoadOp || got.StoreOp != want.StoreOp ||
+			got.BrEq != want.BrEq || got.CallOp != want.CallOp {
+			t.Errorf("%s: backend tables diverge: %+v vs %+v", name, got, want)
+		}
+		if (got.HWLoopStart != 0) != (want.HWLoopStart != 0) {
+			t.Errorf("%s: hardware-loop mismatch", name)
+		}
+		if len(got.CalleeSaved) != len(want.CalleeSaved) {
+			t.Errorf("%s: callee-saved %v vs %v", name, got.CalleeSaved, want.CalleeSaved)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package compiler is the miniature optimizing compiler used to measure
+// backend performance (the paper's Fig. 10). It lowers a small structured
+// language to target machine code, driven entirely by backend Tables that
+// can be extracted either from a reference backend or from a VEGA-generated
+// one (by interrogating the backend's interface functions in the
+// interpreter). Two pass pipelines are provided: a naive -O0 lowering that
+// keeps every value in memory, and an -O3 pipeline with constant folding,
+// strength reduction, register-resident locals, hardware-loop conversion
+// and SIMD vectorization where the target supports them.
+package compiler
+
+import "fmt"
+
+// Expr is an expression of the source language.
+type Expr interface{ exprNode() }
+
+// Const is an integer literal.
+type Const struct{ Value int64 }
+
+// Var references a scalar variable.
+type Var struct{ Name string }
+
+// Bin is a binary operation: + - * / % & | ^ << >> == != < <= > >=.
+type Bin struct {
+	Op   string
+	L, R Expr
+}
+
+// Load reads Array[Index].
+type Load struct {
+	Array string
+	Index Expr
+}
+
+// CallExpr invokes another function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+func (Const) exprNode()    {}
+func (Var) exprNode()      {}
+func (Bin) exprNode()      {}
+func (Load) exprNode()     {}
+func (CallExpr) exprNode() {}
+
+// Stmt is a statement of the source language.
+type Stmt interface{ stmtNode() }
+
+// Assign sets a scalar variable.
+type Assign struct {
+	Name string
+	E    Expr
+}
+
+// Store writes Array[Index] = Value.
+type Store struct {
+	Array string
+	Index Expr
+	Value Expr
+}
+
+// If branches on a condition.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// For is a counted loop: for Var = From; Var < To; Var++ { Body }.
+// Counted loops are what hardware-loop conversion and vectorization key on.
+type For struct {
+	Var      string
+	From, To Expr
+	Body     []Stmt
+}
+
+// While loops on a condition.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// Return exits the function with a value.
+type Return struct{ E Expr }
+
+func (Assign) stmtNode() {}
+func (Store) stmtNode()  {}
+func (If) stmtNode()     {}
+func (For) stmtNode()    {}
+func (While) stmtNode()  {}
+func (Return) stmtNode() {}
+
+// Function is one source function.
+type Function struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// Program is a compilation unit: functions plus named global arrays.
+type Program struct {
+	Funcs  []*Function
+	Arrays map[string]int // name -> element count
+	// Init optionally seeds array contents.
+	Init map[string][]int64
+}
+
+// Func returns a function by name.
+func (p *Program) Func(name string) *Function {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Validate checks referential integrity (arrays and callees exist).
+func (p *Program) Validate() error {
+	for _, f := range p.Funcs {
+		if err := p.validateStmts(f, f.Body); err != nil {
+			return fmt.Errorf("compiler: %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateStmts(f *Function, body []Stmt) error {
+	for _, s := range body {
+		switch st := s.(type) {
+		case Assign:
+			if err := p.validateExpr(st.E); err != nil {
+				return err
+			}
+		case Store:
+			if _, ok := p.Arrays[st.Array]; !ok {
+				return fmt.Errorf("unknown array %q", st.Array)
+			}
+			if err := p.validateExpr(st.Index); err != nil {
+				return err
+			}
+			if err := p.validateExpr(st.Value); err != nil {
+				return err
+			}
+		case If:
+			if err := p.validateExpr(st.Cond); err != nil {
+				return err
+			}
+			if err := p.validateStmts(f, st.Then); err != nil {
+				return err
+			}
+			if err := p.validateStmts(f, st.Else); err != nil {
+				return err
+			}
+		case For:
+			if err := p.validateExpr(st.From); err != nil {
+				return err
+			}
+			if err := p.validateExpr(st.To); err != nil {
+				return err
+			}
+			if err := p.validateStmts(f, st.Body); err != nil {
+				return err
+			}
+		case While:
+			if err := p.validateExpr(st.Cond); err != nil {
+				return err
+			}
+			if err := p.validateStmts(f, st.Body); err != nil {
+				return err
+			}
+		case Return:
+			if err := p.validateExpr(st.E); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateExpr(e Expr) error {
+	switch ex := e.(type) {
+	case Bin:
+		if err := p.validateExpr(ex.L); err != nil {
+			return err
+		}
+		return p.validateExpr(ex.R)
+	case Load:
+		if _, ok := p.Arrays[ex.Array]; !ok {
+			return fmt.Errorf("unknown array %q", ex.Array)
+		}
+		return p.validateExpr(ex.Index)
+	case CallExpr:
+		if p.Func(ex.Name) == nil {
+			return fmt.Errorf("unknown function %q", ex.Name)
+		}
+		for _, a := range ex.Args {
+			if err := p.validateExpr(a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+package compiler
+
+// Loop lowering: counted For loops are where the -O3 pipeline earns its
+// keep — hardware loops on RI5CY-style targets, 4-wide vectorization on
+// SIMD targets, and plain compare-and-branch otherwise.
+
+// forLoop lowers a counted loop.
+func (c *cg) forLoop(st For) error {
+	if c.opt >= 3 {
+		if ok, err := c.tryVectorize(st); ok || err != nil {
+			return err
+		}
+		if ok, err := c.tryHardwareLoop(st); ok || err != nil {
+			return err
+		}
+	}
+	// Generic lowering: i = From; while (i < To) { Body; i = i + 1 }.
+	if err := c.stmt(Assign{Name: st.Var, E: st.From}); err != nil {
+		return err
+	}
+	top := len(c.out)
+	if err := c.condBranch(Bin{Op: "<", L: Var{Name: st.Var}, R: st.To}, false); err != nil {
+		return err
+	}
+	jExit := len(c.out) - 1
+	if err := c.stmts(st.Body); err != nil {
+		return err
+	}
+	if err := c.stmt(Assign{Name: st.Var, E: Bin{Op: "+", L: Var{Name: st.Var}, R: Const{Value: 1}}}); err != nil {
+		return err
+	}
+	c.emit(MInst{Kind: KBr, Opcode: c.tb.BrUnc, Target: top})
+	c.out[jExit].Target = len(c.out)
+	return nil
+}
+
+// tryHardwareLoop emits a zero-overhead loop when the target has one and
+// the body is branch- and call-free.
+func (c *cg) tryHardwareLoop(st For) (bool, error) {
+	if c.tb.HWLoopStart == 0 || !simpleBody(st.Body) {
+		return false, nil
+	}
+	// count = To - From; skip when empty.
+	if err := c.expr(Bin{Op: "-", L: st.To, R: st.From}, regTmpA); err != nil {
+		return false, err
+	}
+	c.emit(MInst{Kind: KMovImm, Opcode: c.tb.MoveImm, Dst: regTmpB, Imm: 0})
+	jSkip := c.emit(MInst{Kind: KBrCond, Opcode: c.tb.BrEq, Op: "<=", A: regTmpA, B: regTmpB})
+	if err := c.stmt(Assign{Name: st.Var, E: st.From}); err != nil {
+		return false, err
+	}
+	loop := c.emit(MInst{Kind: KLoopStart, Opcode: c.tb.HWLoopStart, A: regTmpA})
+	if err := c.stmts(st.Body); err != nil {
+		return false, err
+	}
+	if err := c.stmt(Assign{Name: st.Var, E: Bin{Op: "+", L: Var{Name: st.Var}, R: Const{Value: 1}}}); err != nil {
+		return false, err
+	}
+	c.out[loop].Target = len(c.out) // loop body ends here
+	c.out[jSkip].Target = len(c.out)
+	return true, nil
+}
+
+// tryVectorize recognizes dst[i] = a[i] op b[i] over the loop variable
+// with op in {+,-,^,&,|} and emits 4-wide SIMD operations plus a scalar
+// remainder loop.
+func (c *cg) tryVectorize(st For) (bool, error) {
+	if c.tb.SIMDAdd == 0 || len(st.Body) != 1 {
+		return false, nil
+	}
+	store, ok := st.Body[0].(Store)
+	if !ok {
+		return false, nil
+	}
+	if v, ok := store.Index.(Var); !ok || v.Name != st.Var {
+		return false, nil
+	}
+	bin, ok := store.Value.(Bin)
+	if !ok {
+		return false, nil
+	}
+	switch bin.Op {
+	case "+", "-", "^", "&", "|":
+	default:
+		return false, nil
+	}
+	la, ok := bin.L.(Load)
+	if !ok {
+		return false, nil
+	}
+	lb, ok := bin.R.(Load)
+	if !ok {
+		return false, nil
+	}
+	if v, ok := la.Index.(Var); !ok || v.Name != st.Var {
+		return false, nil
+	}
+	if v, ok := lb.Index.(Var); !ok || v.Name != st.Var {
+		return false, nil
+	}
+
+	// i = From; vec = To - (To-From)%4;
+	// while (i < vec) { simd; i += 4 }  then scalar remainder.
+	if err := c.stmt(Assign{Name: st.Var, E: st.From}); err != nil {
+		return false, err
+	}
+	if err := c.expr(Bin{Op: "-", L: st.To, R: Bin{Op: "%", L: Bin{Op: "-", L: st.To, R: st.From}, R: Const{Value: 4}}}, regTmpB); err != nil {
+		return false, err
+	}
+	vecEnd := regVecEnd // dedicated abstract register holding the vector bound
+	c.emit(MInst{Kind: KMov, Opcode: c.tb.ALUOp["+"], Op: "+", Dst: vecEnd, A: regTmpB})
+
+	top := len(c.out)
+	iReg := c.readVar(st.Var, regTmpA)
+	jExit := c.emit(MInst{Kind: KBrCond, Opcode: c.tb.BrNe, Op: ">=", A: iReg, B: vecEnd})
+	c.emit(MInst{
+		Kind: KSIMD, Opcode: c.tb.SIMDAdd, Op: bin.Op,
+		A: iReg, SymDst: store.Array, Sym: la.Array, Sym2: lb.Array,
+	})
+	if err := c.stmt(Assign{Name: st.Var, E: Bin{Op: "+", L: Var{Name: st.Var}, R: Const{Value: 4}}}); err != nil {
+		return false, err
+	}
+	c.emit(MInst{Kind: KBr, Opcode: c.tb.BrUnc, Target: top})
+	c.out[jExit].Target = len(c.out)
+
+	// Scalar remainder.
+	remTop := len(c.out)
+	iReg = c.readVar(st.Var, regTmpA)
+	if err := c.expr(st.To, regTmpB); err != nil {
+		return false, err
+	}
+	jDone := c.emit(MInst{Kind: KBrCond, Opcode: c.tb.BrNe, Op: ">=", A: iReg, B: regTmpB})
+	if err := c.stmt(store); err != nil {
+		return false, err
+	}
+	if err := c.stmt(Assign{Name: st.Var, E: Bin{Op: "+", L: Var{Name: st.Var}, R: Const{Value: 1}}}); err != nil {
+		return false, err
+	}
+	c.emit(MInst{Kind: KBr, Opcode: c.tb.BrUnc, Target: remTop})
+	c.out[jDone].Target = len(c.out)
+	return true, nil
+}
+
+// simpleBody reports whether a loop body is free of calls and nested
+// control flow (the hardware-loop eligibility rule).
+func simpleBody(body []Stmt) bool {
+	for _, s := range body {
+		switch st := s.(type) {
+		case Assign:
+			if !simpleExpr(st.E) {
+				return false
+			}
+		case Store:
+			if !simpleExpr(st.Index) || !simpleExpr(st.Value) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func simpleExpr(e Expr) bool {
+	switch ex := e.(type) {
+	case Const, Var:
+		return true
+	case Bin:
+		return simpleExpr(ex.L) && simpleExpr(ex.R)
+	case Load:
+		return simpleExpr(ex.Index)
+	case CallExpr:
+		return false
+	}
+	return false
+}
+
+// --- constant folding (-O3) ---
+
+func foldStmts(body []Stmt) []Stmt {
+	out := make([]Stmt, 0, len(body))
+	for _, s := range body {
+		switch st := s.(type) {
+		case Assign:
+			out = append(out, Assign{Name: st.Name, E: foldExpr(st.E)})
+		case Store:
+			out = append(out, Store{Array: st.Array, Index: foldExpr(st.Index), Value: foldExpr(st.Value)})
+		case If:
+			folded := If{Cond: foldExpr(st.Cond), Then: foldStmts(st.Then), Else: foldStmts(st.Else)}
+			if cv, ok := folded.Cond.(Const); ok {
+				// Branch folding.
+				if cv.Value != 0 {
+					out = append(out, folded.Then...)
+				} else {
+					out = append(out, folded.Else...)
+				}
+				continue
+			}
+			out = append(out, folded)
+		case For:
+			out = append(out, For{Var: st.Var, From: foldExpr(st.From), To: foldExpr(st.To), Body: foldStmts(st.Body)})
+		case While:
+			out = append(out, While{Cond: foldExpr(st.Cond), Body: foldStmts(st.Body)})
+		case Return:
+			out = append(out, Return{E: foldExpr(st.E)})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func foldExpr(e Expr) Expr {
+	b, ok := e.(Bin)
+	if !ok {
+		switch ex := e.(type) {
+		case Load:
+			return Load{Array: ex.Array, Index: foldExpr(ex.Index)}
+		case CallExpr:
+			args := make([]Expr, len(ex.Args))
+			for i, a := range ex.Args {
+				args[i] = foldExpr(a)
+			}
+			return CallExpr{Name: ex.Name, Args: args}
+		}
+		return e
+	}
+	l, r := foldExpr(b.L), foldExpr(b.R)
+	lc, lok := l.(Const)
+	rc, rok := r.(Const)
+	if lok && rok {
+		if v, ok := evalConst(b.Op, lc.Value, rc.Value); ok {
+			return Const{Value: v}
+		}
+	}
+	// Identities: x+0, x*1, x-0.
+	if rok {
+		switch {
+		case rc.Value == 0 && (b.Op == "+" || b.Op == "-" || b.Op == "|" || b.Op == "^" || b.Op == "<<" || b.Op == ">>"):
+			return l
+		case rc.Value == 1 && (b.Op == "*" || b.Op == "/"):
+			return l
+		}
+	}
+	return Bin{Op: b.Op, L: l, R: r}
+}
+
+func evalConst(op string, a, b int64) (int64, bool) {
+	switch op {
+	case "+":
+		return a + b, true
+	case "-":
+		return a - b, true
+	case "*":
+		return a * b, true
+	case "/":
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case "%":
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case "&":
+		return a & b, true
+	case "|":
+		return a | b, true
+	case "^":
+		return a ^ b, true
+	case "<<":
+		return a << uint(b&63), true
+	case ">>":
+		return a >> uint(b&63), true
+	case "==":
+		return boolInt(a == b), true
+	case "!=":
+		return boolInt(a != b), true
+	case "<":
+		return boolInt(a < b), true
+	case "<=":
+		return boolInt(a <= b), true
+	case ">":
+		return boolInt(a > b), true
+	case ">=":
+		return boolInt(a >= b), true
+	}
+	return 0, false
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// powerOfTwo recognizes Bin{*, x, Const(2^k)} and returns k.
+func powerOfTwo(b Bin) (int64, bool) {
+	if b.Op != "*" {
+		return 0, false
+	}
+	c, ok := b.R.(Const)
+	if !ok {
+		return 0, false
+	}
+	v := c.Value
+	if v <= 1 || v&(v-1) != 0 {
+		return 0, false
+	}
+	k := int64(0)
+	for v > 1 {
+		v >>= 1
+		k++
+	}
+	return k, true
+}

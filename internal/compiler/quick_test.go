@@ -1,0 +1,102 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// evalExpr evaluates a closed-over-two-variables expression directly,
+// giving the semantic oracle for optimizer properties.
+func evalExpr(e Expr, a, b int64) (int64, bool) {
+	switch ex := e.(type) {
+	case Const:
+		return ex.Value, true
+	case Var:
+		if ex.Name == "a" {
+			return a, true
+		}
+		return b, true
+	case Bin:
+		l, ok1 := evalExpr(ex.L, a, b)
+		r, ok2 := evalExpr(ex.R, a, b)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		if (ex.Op == "/" || ex.Op == "%") && r == 0 {
+			return 0, false
+		}
+		return mustEval(ex.Op, l, r), true
+	}
+	return 0, false
+}
+
+func mustEval(op string, l, r int64) int64 {
+	v, _ := evalConst(op, l, r)
+	return v
+}
+
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Const{Value: int64(rng.Intn(17) - 8)}
+		case 1:
+			return Var{Name: "a"}
+		default:
+			return Var{Name: "b"}
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", "<<", ">>"}
+	return Bin{
+		Op: ops[rng.Intn(len(ops))],
+		L:  genExpr(rng, depth-1),
+		R:  genExpr(rng, depth-1),
+	}
+}
+
+// Property: constant folding preserves semantics on random expressions.
+func TestFoldPreservesSemanticsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(a, b int8) bool {
+		e := genExpr(rng, 4)
+		folded := foldExpr(e)
+		w1, ok1 := evalExpr(e, int64(a), int64(b))
+		w2, ok2 := evalExpr(folded, int64(a), int64(b))
+		if ok1 != ok2 {
+			// Folding may only remove division hazards, never add them.
+			return !ok1 || ok2
+		}
+		return w1 == w2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: branch folding preserves which side executes.
+func TestBranchFoldPreservesChoiceProperty(t *testing.T) {
+	f := func(c int8) bool {
+		cond := Bin{Op: "<", L: Const{Value: int64(c)}, R: Const{Value: 0}}
+		body := foldStmts([]Stmt{If{
+			Cond: cond,
+			Then: []Stmt{Assign{Name: "x", E: Const{Value: 1}}},
+			Else: []Stmt{Assign{Name: "x", E: Const{Value: 2}}},
+		}})
+		if len(body) != 1 {
+			return false
+		}
+		as, ok := body[0].(Assign)
+		if !ok {
+			return false
+		}
+		want := int64(2)
+		if c < 0 {
+			want = 1
+		}
+		return as.E.(Const).Value == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

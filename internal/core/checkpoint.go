@@ -1,0 +1,88 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"vega/internal/model"
+)
+
+// checkpoint is the serialized form of a trained pipeline: the vocabulary
+// and model weights. Stage-1 state (templates, features, splits) is
+// deterministic from the corpus and the seed, so it is rebuilt on load.
+type checkpoint struct {
+	Arch      string
+	ModelCfg  model.Config
+	Pieces    []string
+	ForceChar []string
+	Params    [][]float32
+}
+
+// Save writes the trained model and vocabulary to path.
+func (p *Pipeline) Save(path string) error {
+	if p.Model == nil || p.Vocab == nil {
+		return fmt.Errorf("core: nothing trained to save")
+	}
+	cfg := p.Cfg.Model
+	cfg.Vocab = p.Vocab.Size()
+	ck := checkpoint{
+		Arch:      p.Cfg.Arch,
+		ModelCfg:  cfg,
+		Pieces:    p.Vocab.Pieces(),
+		ForceChar: p.Vocab.ForceCharList(),
+	}
+	for _, t := range p.Model.Params() {
+		ck.Params = append(ck.Params, append([]float32{}, t.Data...))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(&ck); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// Load restores a trained model and vocabulary saved with Save. The
+// pipeline must have been built over the same corpus with the same seed.
+func (p *Pipeline) Load(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: load: %w", err)
+	}
+	defer f.Close()
+	var ck checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return fmt.Errorf("core: load: %w", err)
+	}
+	p.Vocab = model.VocabFromPieces(ck.Pieces, ck.ForceChar)
+	if p.Vocab.Size() != ck.ModelCfg.Vocab {
+		return fmt.Errorf("core: load: vocab size %d != config %d", p.Vocab.Size(), ck.ModelCfg.Vocab)
+	}
+	switch ck.Arch {
+	case "", "transformer":
+		p.Model = model.NewTransformer(ck.ModelCfg)
+	case "gru":
+		p.Model = model.NewGRUSeq2Seq(ck.ModelCfg)
+	case "bert":
+		p.Model = model.NewBERTStyle(ck.ModelCfg, p.Cfg.MaxOutPieces)
+	default:
+		return fmt.Errorf("core: load: unknown architecture %q", ck.Arch)
+	}
+	p.Cfg.Arch = ck.Arch
+	p.Cfg.Model = ck.ModelCfg
+	params := p.Model.Params()
+	if len(params) != len(ck.Params) {
+		return fmt.Errorf("core: load: parameter count %d != %d", len(ck.Params), len(params))
+	}
+	for i, t := range params {
+		if len(t.Data) != len(ck.Params[i]) {
+			return fmt.Errorf("core: load: parameter %d size mismatch", i)
+		}
+		copy(t.Data, ck.Params[i])
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := tinyConfig()
+	cfg.Train.Epochs = 1
+	cfg.MaxSamples = 60
+	cfg.VerifyCap = 10
+	p, err := New(testCorpus(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.gob")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := New(testCorpus(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	// The restored pipeline must generate identical output.
+	g1 := p.GroupByName("getRelocType")
+	g2 := q.GroupByName("getRelocType")
+	f1 := p.GenerateFunction(g1, "RISCV")
+	f2 := q.GenerateFunction(g2, "RISCV")
+	if len(f1.Statements) != len(f2.Statements) {
+		t.Fatalf("statement counts differ: %d vs %d", len(f1.Statements), len(f2.Statements))
+	}
+	for i := range f1.Statements {
+		a, b := f1.Statements[i], f2.Statements[i]
+		if a.Text != b.Text || a.Score != b.Score || a.Absent != b.Absent {
+			t.Fatalf("statement %d differs after reload:\n%+v\n%+v", i, a, b)
+		}
+	}
+	if !reflect.DeepEqual(p.Vocab.Pieces(), q.Vocab.Pieces()) {
+		t.Fatal("vocabulary differs after reload")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	p, err := New(testCorpus(t), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Load("/no/such/file"); err == nil {
+		t.Error("expected error for missing checkpoint")
+	}
+	if err := p.Save(filepath.Join(t.TempDir(), "x.gob")); err == nil {
+		t.Error("expected error saving an untrained pipeline")
+	}
+}

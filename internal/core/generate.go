@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vega/internal/corpus"
+	"vega/internal/feature"
+	"vega/internal/generate"
+	"vega/internal/model"
+	"vega/internal/template"
+)
+
+func joinTokens(toks []string) string { return template.JoinTokens(toks) }
+
+// GenerateFunction runs Stage 3 for one interface function on a new
+// target: it resolves the target's property values from its description
+// files, builds one feature vector per template row, and decodes each
+// into a confidence-annotated statement.
+func (p *Pipeline) GenerateFunction(g *Group, target string) *generate.Function {
+	tv := p.Extractor.TargetValues(g.TF, target)
+	fn := &generate.Function{
+		Name:   g.Func.Name,
+		Module: g.FT.Module,
+		Target: target,
+	}
+	for ri := range g.FT.Rows {
+		in := p.rowInputTokens(g, ri, tv, target)
+		inIDs := append([]int{model.CLS}, p.Vocab.Encode(in)...)
+		outIDs := p.decode(inIDs)
+		fn.Statements = append(fn.Statements, p.decodeStatement(g, ri, tv, outIDs))
+	}
+	return fn
+}
+
+// decode runs the configured decoding strategy.
+func (p *Pipeline) decode(inIDs []int) []int {
+	if p.Cfg.BeamWidth > 1 {
+		if t, ok := p.Model.(*model.Transformer); ok {
+			beams := t.BeamGenerate(inIDs, p.Cfg.MaxOutPieces, p.Cfg.BeamWidth)
+			if len(beams) > 0 {
+				return beams[0].IDs
+			}
+		}
+	}
+	return p.Model.Generate(inIDs, p.Cfg.MaxOutPieces)
+}
+
+// decodeStatement reconstructs a statement from the model's decision
+// content: confidence bucket, presence, and per-placeholder values. The
+// invariant code comes from the template row; predicted values fill its
+// placeholders in order.
+func (p *Pipeline) decodeStatement(g *Group, ri int, tv *feature.TargetFeatures, outIDs []int) generate.Statement {
+	st := generate.Statement{Row: ri}
+	rest := outIDs
+	if len(rest) > 0 {
+		if v, ok := p.Vocab.ConfidenceValue(rest[0]); ok {
+			st.Score = v
+			rest = rest[1:]
+		}
+	}
+	varMark := p.Vocab.ID(markVar)
+	nilMark := p.Vocab.ID(markNil)
+	var groups [][]int // value pieces per emitted [VAR] group
+	for _, id := range rest {
+		switch id {
+		case model.ABSENT:
+			st.Absent = true
+		case varMark:
+			groups = append(groups, nil)
+		default:
+			if len(groups) > 0 {
+				groups[len(groups)-1] = append(groups[len(groups)-1], id)
+			}
+		}
+	}
+	if st.Absent {
+		st.Formula = p.rowFormulaScore(g, ri, tv, false)
+		return st
+	}
+	// Fill the row's placeholders with the predicted values, in order.
+	ids := g.FT.Rows[ri].VarIDs()
+	values := map[int]string{}
+	for i, id := range ids {
+		if i >= len(groups) {
+			break // model under-produced: the SV name stays, parse fails
+		}
+		pieces := groups[i]
+		if len(pieces) == 1 && pieces[0] == nilMark {
+			values[id] = ""
+			continue
+		}
+		values[id] = p.decodeValue(g, ri, id, tv, tv.Target, pieces)
+	}
+	var toks []string
+	unresolved := false
+	for _, el := range g.FT.Rows[ri].Pattern {
+		if !el.Var {
+			toks = append(toks, el.Text)
+			continue
+		}
+		if v, ok := values[el.ID]; ok {
+			if v != "" {
+				toks = append(toks, strings.Fields(v)...)
+			}
+			continue
+		}
+		toks = append(toks, el.Text) // unresolved placeholder
+		unresolved = true
+	}
+	st.Text = joinTokens(toks)
+	if unresolved && st.Score >= 0.5 {
+		// A statement whose placeholder the model could not fill cannot be
+		// asserted; cap its confidence below the threshold so it is flagged
+		// for review instead of breaking the function.
+		st.Score = 0.45
+	}
+	st.Formula = p.rowFormulaScore(g, ri, tv, true)
+	return st
+}
+
+// GenerateBackend runs Stage 3 for every function group, producing the
+// complete backend for a new target, with per-module wall-clock timings
+// (Fig. 7's series).
+func (p *Pipeline) GenerateBackend(target string) *generate.Backend {
+	b := &generate.Backend{Target: target, Seconds: make(map[string]float64)}
+	for _, m := range corpus.Modules {
+		start := time.Now()
+		for _, g := range p.Groups {
+			if g.FT.Module != string(m) {
+				continue
+			}
+			b.Functions = append(b.Functions, p.GenerateFunction(g, target))
+		}
+		b.Seconds[string(m)] += time.Since(start).Seconds()
+	}
+	return b
+}
+
+// Describe renders a one-line summary of a generated backend.
+func Describe(b *generate.Backend) string {
+	gen := 0
+	for _, f := range b.Functions {
+		if f.Generated() {
+			gen++
+		}
+	}
+	return fmt.Sprintf("%s: %d/%d functions generated", b.Target, gen, len(b.Functions))
+}

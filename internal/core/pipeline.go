@@ -1,0 +1,243 @@
+// Package core orchestrates the VEGA pipeline end to end:
+//
+//	Pre-processing      — build/accept a backend corpus, group functions
+//	Stage 1             — templatize each function group and mine features
+//	Stage 2             — encode feature vectors and fine-tune CodeBE
+//	Stage 3             — generate a complete backend for a new target
+//
+// It is the public entry point used by the examples, the CLIs and the
+// benchmark harness.
+package core
+
+import (
+	"fmt"
+
+	"vega/internal/corpus"
+	"vega/internal/feature"
+	"vega/internal/model"
+	"vega/internal/template"
+)
+
+// Config sizes the pipeline. Defaults are tuned for a single-core run of
+// the full benchmark harness; the paper-scale equivalents are recorded in
+// EXPERIMENTS.md.
+type Config struct {
+	// Seed drives every random choice (splits, training, shuffles).
+	Seed int64
+	// TrainFraction is the share of each function group that goes to the
+	// training set (the paper's 75%).
+	TrainFraction float64
+	// MaxSamples caps the deduplicated fine-tuning set (0 = unlimited).
+	MaxSamples int
+	// CandidateWindow is the number of mined candidate values shown per
+	// placeholder property.
+	CandidateWindow int
+	// MaxCandProps caps how many linked properties contribute candidates
+	// per placeholder.
+	MaxCandProps int
+	// Model sizes CodeBE; Vocab is filled in by Train.
+	Model model.Config
+	// Train tunes fine-tuning.
+	Train model.TrainOptions
+	// Pretrain enables the denoising pre-training pass that stands in for
+	// UniXcoder's pre-training.
+	Pretrain       bool
+	PretrainEpochs int
+	// SplitByBackend switches the §4.2 ablation: allocate whole backends
+	// (not per-group functions) to the training set.
+	SplitByBackend bool
+	// Arch selects the model architecture: "transformer" (CodeBE),
+	// "gru", or "bert" for the ablation baselines.
+	Arch string
+	// MaxOutPieces caps decoded statement length.
+	MaxOutPieces int
+	// VerifyCap bounds the verification exact-match sample count.
+	VerifyCap int
+	// BeamWidth > 1 enables beam-search decoding at generation time
+	// (transformer only); 0/1 is greedy.
+	BeamWidth int
+}
+
+// DefaultConfig returns single-core-friendly settings.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		TrainFraction:   0.75,
+		MaxSamples:      2600,
+		CandidateWindow: 3,
+		MaxCandProps:    2,
+		Model: model.Config{
+			Dim: 48, Heads: 4, EncLayers: 2, DecLayers: 2,
+			FFMult: 2, MaxSeq: 160, Seed: 1,
+		},
+		Train: model.TrainOptions{
+			Epochs: 12, Batch: 16, LR: 3e-3, Seed: 1, MinLoss: 0.015,
+			Workers: 1, LRDecay: 0.15,
+		},
+		Pretrain:       true,
+		PretrainEpochs: 2,
+		Arch:           "transformer",
+		MaxOutPieces:   48,
+		VerifyCap:      400,
+	}
+}
+
+// Group is one function group with its template and features.
+type Group struct {
+	Func    corpus.InterfaceFunc
+	FT      *template.FunctionTemplate
+	TF      *feature.TemplateFeatures
+	Targets []string // training targets implementing the function, in fleet order
+}
+
+// Pipeline holds every stage's state.
+type Pipeline struct {
+	Cfg       Config
+	Corpus    *corpus.Corpus
+	Extractor *feature.Extractor
+	Groups    []*Group
+	Vocab     *model.Vocab
+	Model     model.Seq2Seq
+
+	// TrainFns / VerifyFns are the (group, target) pairs of the 75/25
+	// split, as "funcName/target" keys.
+	TrainFns  map[string]bool
+	VerifyFns map[string]bool
+}
+
+// New builds the pipeline through Stage 1 (templates + features) over the
+// given corpus.
+func New(c *corpus.Corpus, cfg Config) (*Pipeline, error) {
+	p := &Pipeline{
+		Cfg:       cfg,
+		Corpus:    c,
+		Extractor: feature.NewExtractor(c.Tree, nil),
+		TrainFns:  make(map[string]bool),
+		VerifyFns: make(map[string]bool),
+	}
+	training := c.TrainingBackends()
+	for _, ifn := range corpus.AllFuncs() {
+		group := corpus.FunctionGroup(training, ifn.Name)
+		if len(group) == 0 {
+			continue
+		}
+		var impls []template.Impl
+		var targets []string
+		for _, b := range training { // fleet order keeps determinism
+			fn, ok := group[b.Target.Name]
+			if !ok {
+				continue
+			}
+			impls = append(impls, template.NewImpl(b.Target.Name, fn))
+			targets = append(targets, b.Target.Name)
+		}
+		ft, err := template.Build(ifn.Name, impls)
+		if err != nil {
+			return nil, fmt.Errorf("core: templatize %s: %w", ifn.Name, err)
+		}
+		ft.Module = string(ifn.Module)
+		tf := p.Extractor.Select(ft, targets)
+		p.Groups = append(p.Groups, &Group{Func: ifn, FT: ft, TF: tf, Targets: targets})
+	}
+	p.split()
+	return p, nil
+}
+
+// split performs the 75/25 train/verification split, either per function
+// group (the paper's scheme) or per backend (the §4.2 ablation).
+func (p *Pipeline) split() {
+	rng := newRNG(p.Cfg.Seed)
+	if p.Cfg.SplitByBackend {
+		var names []string
+		for _, b := range p.Corpus.TrainingBackends() {
+			names = append(names, b.Target.Name)
+		}
+		shuffled := append([]string{}, names...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		cut := int(float64(len(shuffled)) * p.Cfg.TrainFraction)
+		trainSet := map[string]bool{}
+		for _, n := range shuffled[:cut] {
+			trainSet[n] = true
+		}
+		for _, g := range p.Groups {
+			for _, tgt := range g.Targets {
+				key := g.Func.Name + "/" + tgt
+				if trainSet[tgt] {
+					p.TrainFns[key] = true
+				} else {
+					p.VerifyFns[key] = true
+				}
+			}
+		}
+		return
+	}
+	for _, g := range p.Groups {
+		tgts := append([]string{}, g.Targets...)
+		rng.Shuffle(len(tgts), func(i, j int) { tgts[i], tgts[j] = tgts[j], tgts[i] })
+		cut := int(float64(len(tgts))*p.Cfg.TrainFraction + 0.999)
+		if cut < 1 {
+			cut = 1
+		}
+		for i, tgt := range tgts {
+			key := g.Func.Name + "/" + tgt
+			if i < cut {
+				p.TrainFns[key] = true
+			} else {
+				p.VerifyFns[key] = true
+			}
+		}
+	}
+}
+
+// GroupByName returns the group for an interface function.
+func (p *Pipeline) GroupByName(name string) *Group {
+	for _, g := range p.Groups {
+		if g.Func.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the pipeline for logs and docs.
+type Stats struct {
+	Groups          int
+	Templates       int
+	TrainFunctions  int
+	VerifyFunctions int
+	TrainStatements int
+	Properties      int
+}
+
+// Stats computes summary counts.
+func (p *Pipeline) Stats() Stats {
+	s := Stats{Groups: len(p.Groups), Templates: len(p.Groups)}
+	s.TrainFunctions = len(p.TrainFns)
+	s.VerifyFunctions = len(p.VerifyFns)
+	props := map[string]bool{}
+	for _, g := range p.Groups {
+		for _, pr := range g.TF.Props {
+			props[pr.Name] = true
+		}
+		for _, tgt := range g.Targets {
+			if p.TrainFns[g.Func.Name+"/"+tgt] {
+				for ri := range g.FT.Rows {
+					if g.FT.Rows[ri].HasTarget(tgt) {
+						s.TrainStatements++
+					}
+				}
+			}
+		}
+	}
+	s.Properties = len(props)
+	return s
+}
+
+// TrainingTargetNames lists training backends in fleet order.
+func (p *Pipeline) TrainingTargetNames() []string {
+	var out []string
+	for _, b := range p.Corpus.TrainingBackends() {
+		out = append(out, b.Target.Name)
+	}
+	return out
+}

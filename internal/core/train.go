@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"vega/internal/model"
+)
+
+// TrainResult reports Stage 2 outcomes.
+type TrainResult struct {
+	Samples        int
+	VocabSize      int
+	Params         int
+	EpochLosses    []float64
+	PretrainLosses []float64
+	// VerifyExactMatch is the exact-match score on the held-out 25%
+	// verification split (the paper reports 99.03%).
+	VerifyExactMatch float64
+	VerifySamples    int
+}
+
+// Train runs Stage 2: builds the vocabulary, encodes the training split,
+// optionally pre-trains with a denoising objective, and fine-tunes the
+// selected architecture.
+func (p *Pipeline) Train() (*TrainResult, error) {
+	// Vocabulary over the training split only.
+	p.Vocab = model.BuildVocabExtra(p.trainingSequences(), 2, p.forceCharNames(), markerTokens)
+
+	cfg := p.Cfg.Model
+	cfg.Vocab = p.Vocab.Size()
+	if cfg.Seed == 0 {
+		cfg.Seed = p.Cfg.Seed
+	}
+	switch p.Cfg.Arch {
+	case "", "transformer":
+		p.Model = model.NewTransformer(cfg)
+	case "gru":
+		p.Model = model.NewGRUSeq2Seq(cfg)
+	case "bert":
+		p.Model = model.NewBERTStyle(cfg, p.Cfg.MaxOutPieces)
+	default:
+		return nil, fmt.Errorf("core: unknown architecture %q", p.Cfg.Arch)
+	}
+
+	res := &TrainResult{VocabSize: p.Vocab.Size()}
+	if t, ok := p.Model.(*model.Transformer); ok {
+		res.Params = t.NumParams()
+	}
+
+	if p.Cfg.Pretrain && p.Cfg.PretrainEpochs > 0 {
+		pre := p.pretrainSamples()
+		opt := p.Cfg.Train
+		opt.Epochs = p.Cfg.PretrainEpochs
+		opt.MinLoss = 0
+		res.PretrainLosses = model.Fit(p.Model, pre, opt)
+	}
+
+	all := append(p.samplesForSplit(p.TrainFns), p.absentSamples()...)
+	train := p.dedupAndCap(all, p.Cfg.MaxSamples, p.Cfg.Seed+1)
+	res.Samples = len(train)
+	res.EpochLosses = model.Fit(p.Model, train, p.Cfg.Train)
+
+	// Verification exact match on (a capped subset of) the 25% split.
+	vcap := p.Cfg.VerifyCap
+	if vcap == 0 {
+		vcap = 400
+	}
+	verify := p.dedupAndCap(p.samplesForSplit(p.VerifyFns), vcap, p.Cfg.Seed+2)
+	res.VerifySamples = len(verify)
+	res.VerifyExactMatch = model.ExactMatch(p.Model, verify, p.Cfg.MaxOutPieces)
+	return res, nil
+}
+
+// pretrainSamples builds the pre-training curriculum that stands in for
+// UniXcoder's pre-training: (a) denoising — reconstruct each statement
+// from a corrupted copy (15% of pieces dropped) — and (b) candidate
+// copying — emit the value following a [CAND] marker — which primes the
+// cross-attention copy behaviour backend generation depends on.
+func (p *Pipeline) pretrainSamples() []model.Sample {
+	rng := newRNG(p.Cfg.Seed + 7)
+	var out []model.Sample
+	candID := p.Vocab.ID(markCand)
+	varID := p.Vocab.ID(markVar)
+	for _, g := range p.Groups {
+		for _, tgt := range g.Targets {
+			if !p.TrainFns[g.Func.Name+"/"+tgt] {
+				continue
+			}
+			for ri := range g.FT.Rows {
+				toks, ok := g.FT.Rows[ri].PerTarget[tgt]
+				if !ok {
+					continue
+				}
+				ids := p.Vocab.Encode(toks)
+				if len(ids) < 3 {
+					continue
+				}
+				in := []int{model.CLS}
+				for _, id := range ids {
+					if rng.Float64() < 0.15 {
+						continue
+					}
+					in = append(in, id)
+				}
+				out = append(out, model.Sample{Input: in, Output: ids})
+			}
+			// Selection curriculum: given a query value and a candidate
+			// list, emit the selection token of the matching candidate —
+			// the content-matching skill generation relies on.
+			tv := g.TF.Targets[tgt]
+			for _, pr := range g.TF.DependentProps() {
+				dep, ok := tv.Deps[pr.Name]
+				if !ok || len(dep.Candidates) == 0 {
+					continue
+				}
+				window := dep.Candidates
+				if len(window) > 6 {
+					window = window[:6]
+				}
+				for i, c := range window {
+					in := []int{model.CLS, candID}
+					in = append(in, p.Vocab.Encode(strings.Fields(c))...)
+					in = append(in, model.SEP, varID)
+					for j, w := range window {
+						in = append(in, p.Vocab.ID(selMarks[j]))
+						in = append(in, p.Vocab.Encode(strings.Fields(w))...)
+					}
+					out = append(out, model.Sample{Input: in, Output: []int{p.Vocab.ID(selMarks[i])}})
+				}
+			}
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	if len(out) > 1600 {
+		out = out[:1600]
+	}
+	return out
+}

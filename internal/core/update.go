@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"vega/internal/corpus"
+	"vega/internal/cpp"
+	"vega/internal/generate"
+)
+
+// The paper's §6 proposes "a software update mechanism to enhance
+// [VEGA's] inferential accuracy by learning from newly synthesized
+// function templates": once a generated backend has been corrected by
+// developers, it becomes one more training backend. AdoptBackend
+// implements that loop: fold a corrected backend into the corpus and
+// rebuild the pipeline, ready for another Train().
+
+// CorrectedBackend pairs a generated backend with the reference used to
+// repair its inaccurate functions.
+type CorrectedBackend struct {
+	Target string
+	Funcs  map[string]*cpp.Node
+}
+
+// Correct merges a generated backend with its reference: accurate,
+// parseable generated functions are kept, everything else comes from the
+// reference (the paper's §4.3 robustness methodology). accurate maps
+// interface-function names to their pass@1 verdicts.
+func Correct(gen *generate.Backend, ref *corpus.Backend, accurate map[string]bool) *CorrectedBackend {
+	out := &CorrectedBackend{Target: gen.Target, Funcs: map[string]*cpp.Node{}}
+	for name, fn := range ref.Funcs {
+		out.Funcs[name] = fn
+	}
+	for _, f := range gen.Functions {
+		if !accurate[f.Name] || !f.Generated() {
+			continue
+		}
+		parsed, err := f.Parse()
+		if err != nil {
+			continue
+		}
+		cpp.Normalize(parsed)
+		out.Funcs[f.Name] = parsed
+	}
+	return out
+}
+
+// AdoptBackend adds a corrected backend to the corpus as a training
+// backend and rebuilds the pipeline's Stage 1 state. The caller re-runs
+// Train() to let the model learn from the new target — the paper's update
+// mechanism. The adopted target's spec must already exist in the fleet
+// (its description files do: they were the generation input).
+func AdoptBackend(c *corpus.Corpus, cb *CorrectedBackend, cfg Config) (*Pipeline, error) {
+	spec := corpus.FindTarget(cb.Target)
+	if spec == nil {
+		return nil, fmt.Errorf("core: unknown target %q", cb.Target)
+	}
+	// Clone the fleet with the adopted target flipped to training.
+	adopted := &corpus.Corpus{
+		Tree:     c.Tree,
+		Backends: make(map[string]*corpus.Backend, len(c.Backends)),
+	}
+	for _, t := range c.Targets {
+		if t.Name == cb.Target {
+			clone := *t
+			clone.Eval = false
+			adopted.Targets = append(adopted.Targets, &clone)
+			adopted.Backends[t.Name] = &corpus.Backend{
+				Target:  &clone,
+				Funcs:   cb.Funcs,
+				Sources: map[string]string{},
+			}
+			continue
+		}
+		adopted.Targets = append(adopted.Targets, t)
+		adopted.Backends[t.Name] = c.Backends[t.Name]
+	}
+	return New(adopted, cfg)
+}

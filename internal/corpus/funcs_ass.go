@@ -1,0 +1,182 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Assembly parsing (ASS) and Disassembler (DIS) interface functions.
+
+func genMatchRegisterName(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sAsmParser::matchRegisterName(StringRef Name) {\n", t.Name)
+	fmt.Fprintf(&b, "  if (Name == \"sp\") {\n    return %s;\n  }\n", t.SP())
+	if t.FPIndex >= 0 && t.FPIndex != t.SPIndex {
+		fmt.Fprintf(&b, "  if (Name == \"fp\") {\n    return %s;\n  }\n", t.FP())
+	}
+	if t.RAIndex >= 0 && t.RAIndex != t.SPIndex {
+		fmt.Fprintf(&b, "  if (Name == \"ra\") {\n    return %s::%s;\n  }\n", t.Name, t.RegEnum(t.RAIndex))
+	}
+	fmt.Fprintf(&b, "  int Num = parseRegisterIndex(Name, \"%s\");\n", t.RegPrefix)
+	b.WriteString("  if (Num < 0) {\n")
+	b.WriteString("    return NoRegister;\n")
+	b.WriteString("  }\n")
+	fmt.Fprintf(&b, "  if (Num >= %d) {\n", t.NumRegs)
+	b.WriteString("    return NoRegister;\n")
+	b.WriteString("  }\n")
+	fmt.Fprintf(&b, "  return %s::%s + Num;\n", t.Name, t.RegEnum(0))
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genMatchInstruction(t *TargetSpec) string {
+	call := t.Inst(ClassCall)
+	branches := t.Insts(ClassBranch)
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sAsmParser::matchInstruction(StringRef Mnemonic) {\n", t.Name)
+	fmt.Fprintf(&b, "  if (Mnemonic == \"%s\") {\n    return %s;\n  }\n", call.Mnemonic, t.QualInst(call))
+	fmt.Fprintf(&b, "  if (Mnemonic == \"%s\") {\n    return %s;\n  }\n", branches[0].Mnemonic, t.QualInst(branches[0]))
+	if t.HasHardwareLoop {
+		loop := t.Inst(ClassLoop)
+		b.WriteString("  if (STI.hasFeature(HasHardwareLoop)) {\n")
+		fmt.Fprintf(&b, "    if (Mnemonic == \"%s\") {\n      return %s;\n    }\n", loop.Mnemonic, t.QualInst(loop))
+		b.WriteString("  }\n")
+	}
+	if t.HasRealtime {
+		io := t.Inst(ClassIO)
+		b.WriteString("  if (STI.hasFeature(HasRealtimeISA)) {\n")
+		fmt.Fprintf(&b, "    if (Mnemonic == \"%s\") {\n      return %s;\n    }\n", io.Mnemonic, t.QualInst(io))
+		b.WriteString("  }\n")
+	}
+	b.WriteString("  return 0;\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genValidateImmediate(t *TargetSpec) string {
+	reach := t.ImmReach()
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sAsmParser::validateImmediate(int Imm, bool IsBranch) {\n", t.Name)
+	b.WriteString("  if (IsBranch) {\n")
+	fmt.Fprintf(&b, "    return Imm %% 2 == 0 && Imm >= -%d && Imm < %d;\n", reach*2, reach*2)
+	b.WriteString("  }\n")
+	fmt.Fprintf(&b, "  return Imm >= -%d && Imm < %d;\n", reach, reach)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genParseDirective(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sAsmParser::parseDirective(StringRef Directive) {\n", t.Name)
+	b.WriteString("  if (Directive == \".word\") {\n")
+	b.WriteString("    return true;\n")
+	b.WriteString("  }\n")
+	if t.HasRealtime {
+		// xCORE carries its own section directives for the thread runtime.
+		b.WriteString("  if (Directive == \".cc_top\" || Directive == \".cc_bottom\") {\n")
+		b.WriteString("    return true;\n")
+		b.WriteString("  }\n")
+	}
+	if t.HasVariantKind {
+		b.WriteString("  if (Directive == \".reloc\") {\n")
+		b.WriteString("    return true;\n")
+		b.WriteString("  }\n")
+	}
+	if t.Style == StyleUpper {
+		// MIPS-family assemblers accept .set noreorder et al.
+		b.WriteString("  if (Directive == \".set\") {\n")
+		b.WriteString("    return true;\n")
+		b.WriteString("  }\n")
+	}
+	fmt.Fprintf(&b, "  if (Directive == \".align\") {\n    return %v;\n  }\n", t.StackAlign > 1)
+	b.WriteString("  return false;\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genIsValidCPU(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sSubtarget::isValidCPU(StringRef CPU) {\n", t.Name)
+	fmt.Fprintf(&b, "  if (CPU == \"%s\") {\n", t.procName())
+	b.WriteString("    return true;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  return CPU == \"generic\";\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func assFuncs() []InterfaceFunc {
+	return []InterfaceFunc{
+		{Name: "matchRegisterName", Module: ASS, Gen: genMatchRegisterName},
+		{Name: "matchInstruction", Module: ASS, Gen: genMatchInstruction},
+		{Name: "validateImmediate", Module: ASS, Gen: genValidateImmediate},
+		{Name: "parseDirective", Module: ASS, Gen: genParseDirective},
+		{Name: "isValidCPU", Module: ASS, Gen: genIsValidCPU},
+	}
+}
+
+// --- DIS ---
+
+func genDecodeGPRRegisterClass(t *TargetSpec) string {
+	if !t.HasDisassembler {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "int %sDisassembler::decodeGPRRegisterClass(MCInst &MI, unsigned RegNo) {\n", t.Name)
+	fmt.Fprintf(&b, "  if (RegNo >= %d) {\n", t.NumRegs)
+	b.WriteString("    return Fail;\n")
+	b.WriteString("  }\n")
+	fmt.Fprintf(&b, "  unsigned Reg = %s::%s + RegNo;\n", t.Name, t.RegEnum(0))
+	b.WriteString("  MI.addReg(Reg);\n")
+	b.WriteString("  return Success;\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genDecodeSImmOperand(t *TargetSpec) string {
+	if !t.HasDisassembler {
+		return ""
+	}
+	bits := t.LoBits
+	if bits == 0 {
+		bits = 12
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "int %sDisassembler::decodeSImmOperand(MCInst &MI, unsigned Imm) {\n", t.Name)
+	fmt.Fprintf(&b, "  int Val = signExtend(Imm, %d);\n", bits)
+	b.WriteString("  MI.addImm(Val);\n")
+	b.WriteString("  return Success;\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genGetInstructionOpcode(t *TargetSpec) string {
+	if !t.HasDisassembler {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "int %sDisassembler::getInstructionOpcode(MCInst &MI, unsigned Insn) {\n", t.Name)
+	b.WriteString("  switch (Insn) {\n")
+	for _, class := range []InstClass{ClassALU, ClassLoad, ClassStore, ClassBranch, ClassCall} {
+		insts := t.Insts(class)
+		if len(insts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  case %d:\n", insts[0].Opcode)
+		fmt.Fprintf(&b, "    MI.setOpcode(%s);\n", t.QualInst(insts[0]))
+		b.WriteString("    return Success;\n")
+	}
+	b.WriteString("  default:\n")
+	b.WriteString("    return Fail;\n")
+	b.WriteString("  }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func disFuncs() []InterfaceFunc {
+	return []InterfaceFunc{
+		{Name: "decodeGPRRegisterClass", Module: DIS, Gen: genDecodeGPRRegisterClass},
+		{Name: "decodeSImmOperand", Module: DIS, Gen: genDecodeSImmOperand},
+		{Name: "getInstructionOpcode", Module: DIS, Gen: genGetInstructionOpcode},
+	}
+}

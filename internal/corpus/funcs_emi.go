@@ -1,0 +1,247 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Code Emission (EMI) interface functions: object writing, fixup
+// application, instruction encoding, assembly printing.
+
+func genGetRelocType(t *TargetSpec) string {
+	var b strings.Builder
+	if t.Style == StyleUpper {
+		// MIPS-family backends wrap the real work in a helper (the paper's
+		// Fig. 2(a), GetRelocTypeInner); pre-processing inlines it.
+		fmt.Fprintf(&b, "unsigned %sELFObjectWriter::getRelocType(MCContext &Ctx, const MCValue &Target, const MCFixup &Fixup, bool IsPCRel) {\n", t.Name)
+		b.WriteString("  return GetRelocTypeInner(Ctx, Target, Fixup, IsPCRel);\n")
+		b.WriteString("}\n")
+		fmt.Fprintf(&b, "unsigned GetRelocTypeInner(MCContext &Ctx, const MCValue &Target, const MCFixup &Fixup, bool IsPCRel) {\n")
+	} else {
+		fmt.Fprintf(&b, "unsigned %sELFObjectWriter::getRelocType(MCContext &Ctx, const MCValue &Target, const MCFixup &Fixup, bool IsPCRel) {\n", t.Name)
+	}
+	b.WriteString("  unsigned Kind = Fixup.getTargetKind();\n")
+	if t.HasVariantKind {
+		b.WriteString("  MCSymbolRefExpr::VariantKind Modifier = Target.getAccessVariant();\n")
+	}
+	b.WriteString("  if (IsPCRel) {\n")
+	b.WriteString("    switch (Kind) {\n")
+	for _, f := range t.Fixups() {
+		if !f.PCRel {
+			continue
+		}
+		fmt.Fprintf(&b, "    case %s::%s:\n", t.Name, f.Name)
+		fmt.Fprintf(&b, "      return ELF::%s;\n", f.Reloc)
+	}
+	b.WriteString("    default:\n")
+	fmt.Fprintf(&b, "      return ELF::R_%s_NONE;\n", upper(t.Name))
+	b.WriteString("    }\n")
+	b.WriteString("  }\n")
+	b.WriteString("  switch (Kind) {\n")
+	b.WriteString("  case FK_Data_4:\n")
+	// 64-bit targets relocate word data with the 32-bit absolute reloc
+	// when present, matching their base compilers.
+	if abs := t.fixupOfKind(FixAbs32); abs != nil {
+		fmt.Fprintf(&b, "    return ELF::%s;\n", abs.Reloc)
+	} else {
+		fmt.Fprintf(&b, "    return ELF::R_%s_NONE;\n", upper(t.Name))
+	}
+	for _, f := range t.Fixups() {
+		if f.PCRel {
+			continue
+		}
+		fmt.Fprintf(&b, "  case %s::%s:\n", t.Name, f.Name)
+		fmt.Fprintf(&b, "    return ELF::%s;\n", f.Reloc)
+	}
+	b.WriteString("  default:\n")
+	b.WriteString("    report_fatal_error(\"invalid fixup kind\");\n")
+	b.WriteString("  }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genAdjustFixupValue(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sAsmBackend::adjustFixupValue(const MCFixup &Fixup, unsigned Value) {\n", t.Name)
+	b.WriteString("  unsigned Kind = Fixup.getTargetKind();\n")
+	b.WriteString("  switch (Kind) {\n")
+	b.WriteString("  case FK_Data_4:\n")
+	b.WriteString("  case FK_Data_8:\n")
+	b.WriteString("    return Value;\n")
+	for _, f := range t.Fixups() {
+		fmt.Fprintf(&b, "  case %s::%s:\n", t.Name, f.Name)
+		switch {
+		case f.Bits >= 32:
+			b.WriteString("    return Value;\n")
+		case strings.Contains(f.Name, "hi") || strings.Contains(f.Name, "HI") || strings.Contains(f.Name, "Hi"):
+			fmt.Fprintf(&b, "    return (Value + 2048) >> %d;\n", 32-f.Bits)
+		case f.PCRel:
+			fmt.Fprintf(&b, "    return (Value >> 1) & %d;\n", (1<<f.Bits)-1)
+		default:
+			fmt.Fprintf(&b, "    return Value & %d;\n", (1<<f.Bits)-1)
+		}
+	}
+	b.WriteString("  default:\n")
+	b.WriteString("    llvm_unreachable(\"unknown fixup kind\");\n")
+	b.WriteString("  }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genApplyFixup(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "void %sAsmBackend::applyFixup(const MCFixup &Fixup, MutableArrayRef Data, unsigned Value) {\n", t.Name)
+	b.WriteString("  Value = adjustFixupValue(Fixup, Value);\n")
+	b.WriteString("  if (Value == 0) {\n")
+	b.WriteString("    return;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  unsigned Offset = Fixup.getOffset();\n")
+	b.WriteString("  unsigned NumBytes = 4;\n")
+	if t.BigEndian {
+		b.WriteString("  for (unsigned i = 0; i != NumBytes; ++i) {\n")
+		b.WriteString("    Data.set(Offset + i, (Value >> ((NumBytes - i - 1) * 8)) & 255);\n")
+		b.WriteString("  }\n")
+	} else {
+		b.WriteString("  for (unsigned i = 0; i != NumBytes; ++i) {\n")
+		b.WriteString("    Data.set(Offset + i, (Value >> (i * 8)) & 255);\n")
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genEncodeInstruction(t *TargetSpec) string {
+	inst := t.Inst(ClassALU)
+	var b strings.Builder
+	fmt.Fprintf(&b, "void %sMCCodeEmitter::encodeInstruction(const MCInst &MI, raw_ostream &OS, const MCSubtargetInfo &STI) {\n", t.Name)
+	b.WriteString("  unsigned Bits = getBinaryCodeForInstr(MI);\n")
+	fmt.Fprintf(&b, "  unsigned Size = %d;\n", inst.Size)
+	if t.BigEndian {
+		b.WriteString("  for (unsigned i = 0; i != Size; ++i) {\n")
+		b.WriteString("    OS.write((Bits >> ((Size - i - 1) * 8)) & 255);\n")
+		b.WriteString("  }\n")
+	} else {
+		b.WriteString("  for (unsigned i = 0; i != Size; ++i) {\n")
+		b.WriteString("    OS.write((Bits >> (i * 8)) & 255);\n")
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genGetMachineOpValue(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sMCCodeEmitter::getMachineOpValue(const MCInst &MI, const MCOperand &MO) {\n", t.Name)
+	b.WriteString("  if (MO.isReg()) {\n")
+	fmt.Fprintf(&b, "    return MO.getReg() - %s::%s;\n", t.Name, t.RegEnum(0))
+	b.WriteString("  }\n")
+	b.WriteString("  if (MO.isImm()) {\n")
+	b.WriteString("    return static_cast<unsigned>(MO.getImm());\n")
+	b.WriteString("  }\n")
+	b.WriteString("  llvm_unreachable(\"unhandled operand kind\");\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genWriteNopData(t *TargetSpec) string {
+	nop := t.Inst(ClassALU)
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sAsmBackend::writeNopData(raw_ostream &OS, unsigned Count) {\n", t.Name)
+	fmt.Fprintf(&b, "  unsigned MinNopSize = %d;\n", nop.Size)
+	b.WriteString("  if (Count % MinNopSize != 0) {\n")
+	b.WriteString("    return false;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  for (unsigned i = 0; i != Count; i += MinNopSize) {\n")
+	fmt.Fprintf(&b, "    OS.write(%d);\n", nop.Opcode)
+	b.WriteString("  }\n")
+	b.WriteString("  return true;\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genGetFixupKindInfo(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sAsmBackend::getFixupKindNumBits(unsigned Kind) {\n", t.Name)
+	b.WriteString("  switch (Kind) {\n")
+	b.WriteString("  case FK_Data_4:\n")
+	b.WriteString("    return 32;\n")
+	b.WriteString("  case FK_Data_8:\n")
+	b.WriteString("    return 64;\n")
+	for _, f := range t.Fixups() {
+		fmt.Fprintf(&b, "  case %s::%s:\n", t.Name, f.Name)
+		fmt.Fprintf(&b, "    return %d;\n", f.Bits)
+	}
+	b.WriteString("  default:\n")
+	b.WriteString("    llvm_unreachable(\"unknown fixup kind\");\n")
+	b.WriteString("  }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genPrintOperand(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "void %sInstPrinter::printOperand(const MCInst &MI, unsigned OpNo, raw_ostream &OS) {\n", t.Name)
+	b.WriteString("  const MCOperand &MO = MI.getOperand(OpNo);\n")
+	b.WriteString("  if (MO.isReg()) {\n")
+	b.WriteString("    OS.print(getRegisterName(MO.getReg()));\n")
+	b.WriteString("    return;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  if (MO.isImm()) {\n")
+	if t.HasRealtime {
+		// xCORE-style printers mark resource immediates.
+		b.WriteString("    OS.print(\"res[\");\n")
+		b.WriteString("    OS.printInt(MO.getImm());\n")
+		b.WriteString("    OS.print(\"]\");\n")
+	} else {
+		b.WriteString("    OS.printInt(MO.getImm());\n")
+	}
+	b.WriteString("    return;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  llvm_unreachable(\"unknown operand\");\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genGetRegisterName(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "StringRef %sInstPrinter::getRegisterName(unsigned Reg) {\n", t.Name)
+	// Special-name registers print by role; the rest by index.
+	if t.SPIndex >= 0 {
+		fmt.Fprintf(&b, "  if (Reg == %s) {\n    return \"%s\";\n  }\n", t.SP(), "sp")
+	}
+	if t.FPIndex >= 0 && t.FPIndex != t.SPIndex {
+		fmt.Fprintf(&b, "  if (Reg == %s) {\n    return \"%s\";\n  }\n", t.FP(), "fp")
+	}
+	if t.RegSymbol != "" {
+		fmt.Fprintf(&b, "  return formatRegisterSym(\"%s\", \"%s\", Reg - %s::%s);\n", t.RegSymbol, t.RegPrefix, t.Name, t.RegEnum(0))
+	} else {
+		fmt.Fprintf(&b, "  return formatRegister(\"%s\", Reg - %s::%s);\n", t.RegPrefix, t.Name, t.RegEnum(0))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// fixupOfKind returns the fixup spec of a kind, or nil.
+func (t *TargetSpec) fixupOfKind(k FixupKind) *FixupSpec {
+	for _, f := range t.Fixups() {
+		if f.Kind == k {
+			g := f
+			return &g
+		}
+	}
+	return nil
+}
+
+func emiFuncs() []InterfaceFunc {
+	return []InterfaceFunc{
+		{Name: "getRelocType", Module: EMI, Gen: genGetRelocType},
+		{Name: "adjustFixupValue", Module: EMI, Gen: genAdjustFixupValue},
+		{Name: "applyFixup", Module: EMI, Gen: genApplyFixup},
+		{Name: "encodeInstruction", Module: EMI, Gen: genEncodeInstruction},
+		{Name: "getMachineOpValue", Module: EMI, Gen: genGetMachineOpValue},
+		{Name: "writeNopData", Module: EMI, Gen: genWriteNopData},
+		{Name: "getFixupKindNumBits", Module: EMI, Gen: genGetFixupKindInfo},
+		{Name: "printOperand", Module: EMI, Gen: genPrintOperand},
+		{Name: "getRegisterName", Module: EMI, Gen: genGetRegisterName},
+	}
+}

@@ -1,0 +1,178 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Code Optimization (OPT) interface functions: machine-dependent
+// peepholes, pseudo expansion, hardware-loop conversion.
+
+func genGetInstSizeInBytes(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sInstrInfo::getInstSizeInBytes(unsigned Opcode) {\n", t.Name)
+	b.WriteString("  switch (Opcode) {\n")
+	for _, inst := range t.Insts(ClassBranch) {
+		fmt.Fprintf(&b, "  case %s:\n", t.QualInst(inst))
+		fmt.Fprintf(&b, "    return %d;\n", inst.Size)
+	}
+	call := t.Inst(ClassCall)
+	fmt.Fprintf(&b, "  case %s:\n", t.QualInst(call))
+	fmt.Fprintf(&b, "    return %d;\n", call.Size*2)
+	b.WriteString("  default:\n")
+	fmt.Fprintf(&b, "    return %d;\n", t.Inst(ClassALU).Size)
+	b.WriteString("  }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genIsLoadFromStackSlot(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sInstrInfo::isLoadFromStackSlot(const MachineInstr &MI) {\n", t.Name)
+	b.WriteString("  switch (MI.getOpcode()) {\n")
+	for _, inst := range t.Insts(ClassLoad) {
+		fmt.Fprintf(&b, "  case %s:\n", t.QualInst(inst))
+	}
+	b.WriteString("    break;\n")
+	b.WriteString("  default:\n")
+	b.WriteString("    return false;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  return MI.getOperand(1).isFI();\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genIsStoreToStackSlot(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sInstrInfo::isStoreToStackSlot(const MachineInstr &MI) {\n", t.Name)
+	b.WriteString("  switch (MI.getOpcode()) {\n")
+	for _, inst := range t.Insts(ClassStore) {
+		fmt.Fprintf(&b, "  case %s:\n", t.QualInst(inst))
+	}
+	b.WriteString("    break;\n")
+	b.WriteString("  default:\n")
+	b.WriteString("    return false;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  return MI.getOperand(1).isFI();\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genIsProfitableToHoist(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sInstrInfo::isProfitableToHoist(const MachineInstr &MI) {\n", t.Name)
+	b.WriteString("  if (MI.mayStore()) {\n")
+	b.WriteString("    return false;\n")
+	b.WriteString("  }\n")
+	if t.NumRegs <= 16 {
+		// Register-starved targets avoid hoisting long expressions.
+		b.WriteString("  if (MI.getNumOperands() > 3) {\n")
+		b.WriteString("    return false;\n")
+		b.WriteString("  }\n")
+	}
+	if t.HasSIMD {
+		b.WriteString("  if (STI.hasFeature(HasSIMD) && MI.isVector()) {\n")
+		b.WriteString("    return false;\n")
+		b.WriteString("  }\n")
+	}
+	if t.HasDelaySlots {
+		b.WriteString("  if (STI.hasFeature(HasDelaySlots) && MI.isBranch()) {\n")
+		b.WriteString("    return false;\n")
+		b.WriteString("  }\n")
+	}
+	b.WriteString("  return true;\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// genConvertToHardwareLoop exists only for hardware-loop targets: the
+// RI5CY-style custom optimization.
+func genConvertToHardwareLoop(t *TargetSpec) string {
+	if !t.HasHardwareLoop {
+		return ""
+	}
+	loops := t.Insts(ClassLoop)
+	branches := t.Insts(ClassBranch)
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sHardwareLoops::convertToHardwareLoop(unsigned Opcode, int TripCount) {\n", t.Name)
+	b.WriteString("  if (!STI.hasFeature(HasHardwareLoop)) {\n")
+	b.WriteString("    return 0;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  if (TripCount < 2) {\n")
+	b.WriteString("    return 0;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  switch (Opcode) {\n")
+	fmt.Fprintf(&b, "  case %s:\n", t.QualInst(branches[0]))
+	fmt.Fprintf(&b, "  case %s:\n", t.QualInst(branches[1%len(branches)]))
+	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(loops[0]))
+	b.WriteString("  default:\n")
+	b.WriteString("    return 0;\n")
+	b.WriteString("  }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genEnablePostRAScheduler(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sSubtarget::enablePostRAScheduler() {\n", t.Name)
+	switch {
+	case t.HasDelaySlots:
+		b.WriteString("  return false;\n")
+	case t.HasSIMD || t.HasHardwareLoop:
+		b.WriteString("  return true;\n")
+	default:
+		b.WriteString("  return MF.getOptLevel() >= 2;\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genExpandPseudoMove(t *TargetSpec) string {
+	moves := t.Insts(ClassMove)
+	alu := t.Inst(ClassALU)
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sExpandPseudo::expandPseudoMove(bool IsImm) {\n", t.Name)
+	b.WriteString("  if (IsImm) {\n")
+	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(moves[len(moves)-1]))
+	b.WriteString("  }\n")
+	if t.Style == StyleShort {
+		// Accumulator-flavoured targets copy through an ALU op.
+		fmt.Fprintf(&b, "  return %s;\n", t.QualInst(alu))
+	} else {
+		fmt.Fprintf(&b, "  return %s;\n", t.QualInst(moves[0]))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// genExpandRealtimeOp exists only for real-time I/O targets (xCORE).
+func genExpandRealtimeOp(t *TargetSpec) string {
+	if !t.HasRealtime {
+		return ""
+	}
+	ios := t.Insts(ClassIO)
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sRealtimeLowering::expandRealtimeOp(int Dir) {\n", t.Name)
+	b.WriteString("  if (!STI.hasFeature(HasRealtimeISA)) {\n")
+	b.WriteString("    return 0;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  if (Dir == 0) {\n")
+	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(ios[0]))
+	b.WriteString("  }\n")
+	fmt.Fprintf(&b, "  return %s;\n", t.QualInst(ios[1%len(ios)]))
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func optFuncs() []InterfaceFunc {
+	return []InterfaceFunc{
+		{Name: "getInstSizeInBytes", Module: OPT, Gen: genGetInstSizeInBytes},
+		{Name: "isLoadFromStackSlot", Module: OPT, Gen: genIsLoadFromStackSlot},
+		{Name: "isStoreToStackSlot", Module: OPT, Gen: genIsStoreToStackSlot},
+		{Name: "isProfitableToHoist", Module: OPT, Gen: genIsProfitableToHoist},
+		{Name: "convertToHardwareLoop", Module: OPT, Gen: genConvertToHardwareLoop},
+		{Name: "enablePostRAScheduler", Module: OPT, Gen: genEnablePostRAScheduler},
+		{Name: "expandPseudoMove", Module: OPT, Gen: genExpandPseudoMove},
+		{Name: "expandRealtimeOp", Module: OPT, Gen: genExpandRealtimeOp},
+	}
+}

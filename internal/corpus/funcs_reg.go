@@ -1,0 +1,101 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Register Allocation (REG) interface functions: reserved registers,
+// frame register selection, callee-saved sets, frame index elimination.
+
+func genGetFrameRegister(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sRegisterInfo::getFrameRegister(const MachineFunction &MF) {\n", t.Name)
+	if t.FPIndex >= 0 && t.FPIndex != t.SPIndex {
+		b.WriteString("  if (MF.hasFP()) {\n")
+		fmt.Fprintf(&b, "    return %s;\n", t.FP())
+		b.WriteString("  }\n")
+	}
+	fmt.Fprintf(&b, "  return %s;\n", t.SP())
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genGetCalleeSavedRegs(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "void %sRegisterInfo::getCalleeSavedRegs(RegList &Regs) {\n", t.Name)
+	for _, r := range t.CalleeSaved {
+		fmt.Fprintf(&b, "  Regs.push_back(%s::%s);\n", t.Name, t.RegEnum(r))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genIsReservedReg(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sRegisterInfo::isReservedReg(unsigned Reg) {\n", t.Name)
+	b.WriteString("  switch (Reg) {\n")
+	fmt.Fprintf(&b, "  case %s:\n", t.SP())
+	if t.RAIndex >= 0 && t.RAIndex != t.SPIndex {
+		fmt.Fprintf(&b, "  case %s::%s:\n", t.Name, t.RegEnum(t.RAIndex))
+	}
+	fmt.Fprintf(&b, "  case %s::%s:\n", t.Name, t.RegEnum(0))
+	b.WriteString("    return true;\n")
+	b.WriteString("  default:\n")
+	b.WriteString("    return false;\n")
+	b.WriteString("  }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genEliminateFrameIndex(t *TargetSpec) string {
+	reach := t.ImmReach()
+	var b strings.Builder
+	fmt.Fprintf(&b, "int %sRegisterInfo::eliminateFrameIndex(int FrameIndex, int Offset, const MachineFunction &MF) {\n", t.Name)
+	fmt.Fprintf(&b, "  int StackSize = MF.getStackSize();\n")
+	fmt.Fprintf(&b, "  int FrameOffset = StackSize + FrameIndex * %d + Offset;\n", t.StackAlign)
+	fmt.Fprintf(&b, "  if (FrameOffset < -%d || FrameOffset >= %d) {\n", reach, reach)
+	b.WriteString("    report_fatal_error(\"frame offset out of range\");\n")
+	b.WriteString("  }\n")
+	b.WriteString("  return FrameOffset;\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genGetStackAlignment(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sFrameLowering::getStackAlignment() {\n", t.Name)
+	fmt.Fprintf(&b, "  return %d;\n", t.StackAlign)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genHasReservedCallFrame(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sFrameLowering::hasReservedCallFrame(const MachineFunction &MF) {\n", t.Name)
+	if t.FPIndex >= 0 {
+		b.WriteString("  if (MF.hasVarSizedObjects()) {\n")
+		b.WriteString("    return false;\n")
+		b.WriteString("  }\n")
+	}
+	if t.StackAlign >= 16 {
+		// Over-aligned stacks cannot pre-reserve the call frame eagerly.
+		b.WriteString("  if (MF.getStackSize() > 0) {\n")
+		b.WriteString("    return false;\n")
+		b.WriteString("  }\n")
+	}
+	b.WriteString("  return true;\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func regFuncs() []InterfaceFunc {
+	return []InterfaceFunc{
+		{Name: "getFrameRegister", Module: REG, Gen: genGetFrameRegister},
+		{Name: "getCalleeSavedRegs", Module: REG, Gen: genGetCalleeSavedRegs},
+		{Name: "isReservedReg", Module: REG, Gen: genIsReservedReg},
+		{Name: "eliminateFrameIndex", Module: REG, Gen: genEliminateFrameIndex},
+		{Name: "getStackAlignment", Module: REG, Gen: genGetStackAlignment},
+		{Name: "hasReservedCallFrame", Module: REG, Gen: genHasReservedCallFrame},
+	}
+}

@@ -1,0 +1,127 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instruction Scheduling (SCH) interface functions: latencies, scheduling
+// boundaries, delay slots, clustering.
+
+func genGetInstrLatency(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "int %sInstrInfo::getInstrLatency(unsigned Opcode) {\n", t.Name)
+	b.WriteString("  switch (Opcode) {\n")
+	for _, inst := range t.Insts(ClassLoad) {
+		fmt.Fprintf(&b, "  case %s:\n", t.QualInst(inst))
+		fmt.Fprintf(&b, "    return %d;\n", inst.Latency)
+	}
+	for _, inst := range t.Insts(ClassSIMD) {
+		fmt.Fprintf(&b, "  case %s:\n", t.QualInst(inst))
+		fmt.Fprintf(&b, "    return %d;\n", inst.Latency)
+	}
+	call := t.Inst(ClassCall)
+	fmt.Fprintf(&b, "  case %s:\n", t.QualInst(call))
+	fmt.Fprintf(&b, "    return %d;\n", call.Latency)
+	b.WriteString("  default:\n")
+	b.WriteString("    return 1;\n")
+	b.WriteString("  }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genIsSchedulingBoundary(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sInstrInfo::isSchedulingBoundary(const MachineInstr &MI) {\n", t.Name)
+	b.WriteString("  if (MI.isTerminator() || MI.isLabel()) {\n")
+	b.WriteString("    return true;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  switch (MI.getOpcode()) {\n")
+	fmt.Fprintf(&b, "  case %s:\n", t.QualInst(t.Inst(ClassCall)))
+	if t.HasHardwareLoop {
+		loops := t.Insts(ClassLoop)
+		fmt.Fprintf(&b, "  case %s:\n", t.QualInst(loops[0]))
+	}
+	if t.HasRealtime {
+		ios := t.Insts(ClassIO)
+		fmt.Fprintf(&b, "  case %s:\n", t.QualInst(ios[len(ios)-1]))
+	}
+	b.WriteString("    return true;\n")
+	b.WriteString("  default:\n")
+	b.WriteString("    return false;\n")
+	b.WriteString("  }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genHasDelaySlot(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sInstrInfo::hasDelaySlot(unsigned Opcode) {\n", t.Name)
+	if !t.HasDelaySlots {
+		b.WriteString("  return false;\n")
+		b.WriteString("}\n")
+		return b.String()
+	}
+	b.WriteString("  if (!STI.hasFeature(HasDelaySlots)) {\n")
+	b.WriteString("    return false;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  switch (Opcode) {\n")
+	for _, inst := range t.Insts(ClassBranch) {
+		fmt.Fprintf(&b, "  case %s:\n", t.QualInst(inst))
+	}
+	fmt.Fprintf(&b, "  case %s:\n", t.QualInst(t.Inst(ClassCall)))
+	b.WriteString("    return true;\n")
+	b.WriteString("  default:\n")
+	b.WriteString("    return false;\n")
+	b.WriteString("  }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genGetSchedPriority(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "int %sSchedStrategy::getSchedPriority(const MachineInstr &MI) {\n", t.Name)
+	b.WriteString("  if (MI.isBranch()) {\n")
+	b.WriteString("    return 0;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  if (MI.mayLoad()) {\n")
+	fmt.Fprintf(&b, "    return %d;\n", t.Inst(ClassLoad).Latency+1)
+	b.WriteString("  }\n")
+	if t.HasSIMD {
+		b.WriteString("  if (MI.isVector()) {\n")
+		fmt.Fprintf(&b, "    return %d;\n", t.Inst(ClassSIMD).Latency)
+		b.WriteString("  }\n")
+	}
+	b.WriteString("  return 1;\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genShouldClusterMemOps(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sInstrInfo::shouldClusterMemOps(unsigned First, unsigned Second, int NumLoads) {\n", t.Name)
+	loads := t.Insts(ClassLoad)
+	fmt.Fprintf(&b, "  if (First != %s || Second != %s) {\n", t.QualInst(loads[0]), t.QualInst(loads[0]))
+	b.WriteString("    return false;\n")
+	b.WriteString("  }\n")
+	limit := t.StackAlign / 4
+	if limit < 1 {
+		limit = 1
+	}
+	if t.PtrBits == 64 {
+		limit *= 2
+	}
+	fmt.Fprintf(&b, "  return NumLoads <= %d;\n", limit)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func schFuncs() []InterfaceFunc {
+	return []InterfaceFunc{
+		{Name: "getInstrLatency", Module: SCH, Gen: genGetInstrLatency},
+		{Name: "isSchedulingBoundary", Module: SCH, Gen: genIsSchedulingBoundary},
+		{Name: "hasDelaySlot", Module: SCH, Gen: genHasDelaySlot},
+		{Name: "getSchedPriority", Module: SCH, Gen: genGetSchedPriority},
+		{Name: "shouldClusterMemOps", Module: SCH, Gen: genShouldClusterMemOps},
+	}
+}

@@ -1,0 +1,184 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instruction Selection (SEL) interface functions: legality queries and
+// IR-to-opcode lowering decisions.
+
+func genIsLegalAddressingMode(t *TargetSpec) string {
+	// Offset reach follows the target's low-immediate width.
+	reach := t.ImmReach()
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sTargetLowering::isLegalAddressingMode(int BaseOffs, bool HasBaseReg, int Scale) {\n", t.Name)
+	fmt.Fprintf(&b, "  if (BaseOffs < -%d || BaseOffs >= %d) {\n", reach, reach)
+	b.WriteString("    return false;\n")
+	b.WriteString("  }\n")
+	if t.StackAlign >= 8 {
+		// Wide-slot targets require naturally aligned base offsets.
+		fmt.Fprintf(&b, "  if (BaseOffs %% %d != 0) {\n", t.StackAlign/2)
+		b.WriteString("    return false;\n")
+		b.WriteString("  }\n")
+	}
+	if t.Style == StyleShort && t.PtrBits == 64 {
+		// CISC-flavoured targets allow scaled indexing.
+		b.WriteString("  if (Scale == 2 || Scale == 4 || Scale == 8) {\n")
+		b.WriteString("    return true;\n")
+		b.WriteString("  }\n")
+	}
+	b.WriteString("  if (Scale > 1) {\n")
+	b.WriteString("    return false;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  return true;\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genGetSetCCResultType(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sTargetLowering::getSetCCResultType() {\n", t.Name)
+	if t.PtrBits == 64 {
+		b.WriteString("  return MVT::i64;\n")
+	} else if t.PtrBits == 16 {
+		b.WriteString("  return MVT::i16;\n")
+	} else {
+		b.WriteString("  return MVT::i32;\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genGetBranchOpcodeForCond(t *TargetSpec) string {
+	branches := t.Insts(ClassBranch)
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sInstrInfo::getBranchOpcodeForCond(int CC) {\n", t.Name)
+	b.WriteString("  switch (CC) {\n")
+	b.WriteString("  case SETEQ:\n")
+	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(branches[0]))
+	b.WriteString("  case SETNE:\n")
+	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(branches[1%len(branches)]))
+	b.WriteString("  case SETLT:\n")
+	b.WriteString("  case SETGT:\n")
+	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(branches[len(branches)-1]))
+	b.WriteString("  default:\n")
+	b.WriteString("    llvm_unreachable(\"unsupported condition\");\n")
+	b.WriteString("  }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genGetUncondBranchOpcode(t *TargetSpec) string {
+	branches := t.Insts(ClassBranch)
+	last := branches[len(branches)-1]
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sInstrInfo::getUncondBranchOpcode() {\n", t.Name)
+	fmt.Fprintf(&b, "  return %s;\n", t.QualInst(last))
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genIsLegalICmpImmediate(t *TargetSpec) string {
+	reach := t.ImmReach()
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sTargetLowering::isLegalICmpImmediate(int Imm) {\n", t.Name)
+	if t.CmpUsesFlags {
+		b.WriteString("  if (Imm == 0) {\n")
+		b.WriteString("    return true;\n")
+		b.WriteString("  }\n")
+	}
+	fmt.Fprintf(&b, "  return Imm >= -%d && Imm < %d;\n", reach, reach)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genSelectLoadOpcode(t *TargetSpec) string {
+	loads := t.Insts(ClassLoad)
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sDAGToDAGISel::selectLoadOpcode(int Size) {\n", t.Name)
+	b.WriteString("  switch (Size) {\n")
+	b.WriteString("  case 1:\n")
+	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(loads[len(loads)-1]))
+	b.WriteString("  case 2:\n")
+	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(loads[1%len(loads)]))
+	b.WriteString("  case 4:\n")
+	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(loads[0]))
+	b.WriteString("  default:\n")
+	b.WriteString("    report_fatal_error(\"unsupported load size\");\n")
+	b.WriteString("  }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genSelectStoreOpcode(t *TargetSpec) string {
+	stores := t.Insts(ClassStore)
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sDAGToDAGISel::selectStoreOpcode(int Size) {\n", t.Name)
+	b.WriteString("  switch (Size) {\n")
+	b.WriteString("  case 1:\n")
+	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(stores[len(stores)-1]))
+	b.WriteString("  case 2:\n")
+	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(stores[1%len(stores)]))
+	b.WriteString("  case 4:\n")
+	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(stores[0]))
+	b.WriteString("  default:\n")
+	b.WriteString("    report_fatal_error(\"unsupported store size\");\n")
+	b.WriteString("  }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genGetCallOpcode(t *TargetSpec) string {
+	call := t.Inst(ClassCall)
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sISelLowering::getCallOpcode() {\n", t.Name)
+	fmt.Fprintf(&b, "  return %s;\n", t.QualInst(call))
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genShouldExpandSelect(t *TargetSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bool %sTargetLowering::shouldExpandSelect(unsigned VT) {\n", t.Name)
+	if t.HasSIMD {
+		b.WriteString("  if (STI.hasFeature(HasSIMD) && VT > MVT::i64) {\n")
+		b.WriteString("    return false;\n")
+		b.WriteString("  }\n")
+	}
+	if t.CmpUsesFlags {
+		b.WriteString("  if (STI.hasFeature(HasCmpFlags)) {\n")
+		b.WriteString("    return false;\n")
+		b.WriteString("  }\n")
+	}
+	b.WriteString("  return true;\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func genSelectMoveImmOpcode(t *TargetSpec) string {
+	moves := t.Insts(ClassMove)
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsigned %sDAGToDAGISel::selectMoveImmOpcode(int Imm) {\n", t.Name)
+	fmt.Fprintf(&b, "  if (Imm >= -%d && Imm < %d) {\n", t.ImmReach(), t.ImmReach())
+	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(moves[0]))
+	b.WriteString("  }\n")
+	fmt.Fprintf(&b, "  return %s;\n", t.QualInst(moves[len(moves)-1]))
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func selFuncs() []InterfaceFunc {
+	return []InterfaceFunc{
+		{Name: "isLegalAddressingMode", Module: SEL, Gen: genIsLegalAddressingMode},
+		{Name: "getSetCCResultType", Module: SEL, Gen: genGetSetCCResultType},
+		{Name: "getBranchOpcodeForCond", Module: SEL, Gen: genGetBranchOpcodeForCond},
+		{Name: "getUncondBranchOpcode", Module: SEL, Gen: genGetUncondBranchOpcode},
+		{Name: "isLegalICmpImmediate", Module: SEL, Gen: genIsLegalICmpImmediate},
+		{Name: "selectLoadOpcode", Module: SEL, Gen: genSelectLoadOpcode},
+		{Name: "selectStoreOpcode", Module: SEL, Gen: genSelectStoreOpcode},
+		{Name: "getCallOpcode", Module: SEL, Gen: genGetCallOpcode},
+		{Name: "shouldExpandSelect", Module: SEL, Gen: genShouldExpandSelect},
+		{Name: "selectMoveImmOpcode", Module: SEL, Gen: genSelectMoveImmOpcode},
+	}
+}

@@ -1,0 +1,359 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"vega/internal/tablegen"
+)
+
+// RenderCore writes the LLVM-provided code — the LLVMDIRs headers and
+// Target.td every backend shares — into the tree.
+func RenderCore(tree *tablegen.SourceTree) {
+	tree.Add("llvm/MC/MCFixup.h", `
+class MCFixup {
+};
+enum MCFixupKind {
+  FK_NONE = 0,
+  FK_Data_1 = 1,
+  FK_Data_2 = 2,
+  FK_Data_4 = 3,
+  FK_Data_8 = 4,
+  FirstTargetFixupKind = 128
+};
+`)
+	tree.Add("llvm/MC/MCExpr.h", `
+class MCExpr {
+};
+class MCSymbolRefExpr {
+};
+enum VariantKind {
+  VK_None = 0,
+  VK_PLT = 1,
+  VK_GOT = 2
+};
+`)
+	tree.Add("llvm/MC/MCInst.h", `
+class MCInst {
+};
+class MCOperand {
+};
+class MCRegister {
+};
+class MCDisassembler {
+};
+enum DecodeStatus {
+  Fail = 0,
+  SoftFail = 1,
+  Success = 3
+};
+enum RegSentinel {
+  NoRegister = 4095
+};
+`)
+	tree.Add("llvm/MC/MCStreamer.h", `
+class MCStreamer {
+};
+class MCAsmParser {
+};
+enum MatchResultTy {
+  Match_Success = 0,
+  Match_InvalidOperand = 1,
+  Match_MnemonicFail = 2,
+  Match_MissingFeature = 3
+};
+`)
+	tree.Add("llvm/BinaryFormat/ELF.h", `
+enum ELF_RELOC {
+  R_NONE = 0
+};
+enum ELFClass {
+  ELFCLASS32 = 1,
+  ELFCLASS64 = 2
+};
+`)
+	tree.Add("llvm/CodeGen/MachineInstr.h", `
+class MachineInstr {
+};
+class MachineBasicBlock {
+};
+class MachineFunction {
+};
+class MachineFrameInfo {
+};
+class MachineOperand {
+};
+enum ISDOpcode {
+  ISD_ADD = 1,
+  ISD_SUB = 2,
+  ISD_LOAD = 3,
+  ISD_STORE = 4,
+  ISD_BR = 5,
+  ISD_BRCOND = 6,
+  ISD_CALL = 7,
+  ISD_SELECT = 8,
+  ISD_SETCC = 9,
+  ISD_GlobalAddress = 10,
+  ISD_FrameIndex = 11,
+  ISD_Constant = 12,
+  ISD_MUL = 13,
+  ISD_SHL = 14
+};
+enum CondCode {
+  SETEQ = 0,
+  SETNE = 1,
+  SETLT = 2,
+  SETGT = 3
+};
+`)
+	tree.Add("llvm/CodeGen/TargetLowering.h", `
+class TargetLowering {
+};
+class TargetRegisterInfo {
+};
+class TargetInstrInfo {
+};
+class TargetFrameLowering {
+};
+class SelectionDAG {
+};
+class SDValue {
+};
+class SDNode {
+};
+enum MVT {
+  i8 = 8,
+  i16 = 16,
+  i32 = 32,
+  i64 = 64
+};
+`)
+	tree.Add("llvm/Target/Target.td", `
+class Target {
+  string Name = "";
+}
+class Register {
+  string AsmName = "";
+}
+class Instruction {
+  string AsmString = "";
+  int Opcode = 0;
+  int Size = 4;
+  int Latency = 1;
+}
+class ALUInst : Instruction {
+}
+class MoveInst : Instruction {
+}
+class LoadInst : Instruction {
+}
+class StoreInst : Instruction {
+}
+class BranchInst : Instruction {
+}
+class CallInst : Instruction {
+}
+class SIMDInst : Instruction {
+}
+class LoopInst : Instruction {
+}
+class IOInst : Instruction {
+}
+class Operand {
+  string OperandType = "OPERAND_UNKNOWN";
+}
+class ABIInfo {
+  string StackPointer = "";
+  string FramePointer = "";
+  string ReturnAddress = "";
+  int StackAlignment = 4;
+  int PointerSize = 32;
+  int NumRegisters = 32;
+  int ImmReach = 2048;
+  int BranchReach = 4096;
+  string RegPrefix = "r";
+  string RegSymbol = "";
+}
+class CalleeSavedRegs {
+  list SaveList = [];
+}
+class SubtargetFeatures {
+  bit HasVariantKind = 0;
+  bit HasHardwareLoop = 0;
+  bit HasSIMD = 0;
+  bit HasRealtimeISA = 0;
+  bit HasDelaySlots = 0;
+  bit HasCmpFlags = 0;
+  bit IsBigEndian = 0;
+  bit HasDisassembler = 0;
+  bit HasFramePointer = 0;
+  bit HasReturnAddressReg = 0;
+}
+class Proc {
+  string ProcName = "";
+}
+`)
+}
+
+// instParentClass maps an instruction class to its LLVM-core TableGen
+// class name.
+func instParentClass(c InstClass) string {
+	switch c {
+	case ClassALU:
+		return "ALUInst"
+	case ClassMove:
+		return "MoveInst"
+	case ClassLoad:
+		return "LoadInst"
+	case ClassStore:
+		return "StoreInst"
+	case ClassBranch:
+		return "BranchInst"
+	case ClassCall:
+		return "CallInst"
+	case ClassSIMD:
+		return "SIMDInst"
+	case ClassLoop:
+		return "LoopInst"
+	case ClassIO:
+		return "IOInst"
+	}
+	return "Instruction"
+}
+
+// RenderTarget writes one target's description files into the tree: the
+// artifacts a new backend brings to VEGA.
+func RenderTarget(tree *tablegen.SourceTree, t *TargetSpec) {
+	dir := "lib/Target/" + t.Name + "/"
+
+	// --- <T>.td: target def, subtarget features, processor ---
+	var td strings.Builder
+	fmt.Fprintf(&td, "def %s : Target {\n  let Name = \"%s\";\n}\n", t.Name, t.TdName)
+	fmt.Fprintf(&td, "def %sFeatures : SubtargetFeatures {\n", t.Name)
+	flag := func(name string, on bool) {
+		if on {
+			fmt.Fprintf(&td, "  let %s = 1;\n", name)
+		}
+	}
+	flag("HasVariantKind", t.HasVariantKind)
+	flag("HasHardwareLoop", t.HasHardwareLoop)
+	flag("HasSIMD", t.HasSIMD)
+	flag("HasRealtimeISA", t.HasRealtime)
+	flag("HasDelaySlots", t.HasDelaySlots)
+	flag("HasCmpFlags", t.CmpUsesFlags)
+	flag("IsBigEndian", t.BigEndian)
+	flag("HasDisassembler", t.HasDisassembler)
+	flag("HasFramePointer", t.FPIndex >= 0)
+	flag("HasReturnAddressReg", t.RAIndex >= 0)
+	td.WriteString("}\n")
+	fmt.Fprintf(&td, "def %sProc : Proc {\n  let ProcName = \"%s\";\n}\n", t.Name, t.procName())
+	tree.Add(dir+t.Name+".td", td.String())
+
+	// --- <T>RegisterInfo.td ---
+	var rtd strings.Builder
+	fmt.Fprintf(&rtd, "class %sReg : Register {\n}\n", t.Name)
+	for i := 0; i < t.NumRegs; i++ {
+		fmt.Fprintf(&rtd, "def %s : %sReg {\n  let AsmName = \"%s\";\n}\n",
+			t.RegEnum(i), t.Name, t.RegName(i))
+	}
+	fmt.Fprintf(&rtd, "def %sABI : ABIInfo {\n", t.Name)
+	fmt.Fprintf(&rtd, "  let StackPointer = %s;\n", t.RegEnum(t.SPIndex))
+	if t.FPIndex >= 0 {
+		fmt.Fprintf(&rtd, "  let FramePointer = %s;\n", t.RegEnum(t.FPIndex))
+	}
+	if t.RAIndex >= 0 {
+		fmt.Fprintf(&rtd, "  let ReturnAddress = %s;\n", t.RegEnum(t.RAIndex))
+	}
+	fmt.Fprintf(&rtd, "  let StackAlignment = %d;\n", t.StackAlign)
+	fmt.Fprintf(&rtd, "  let PointerSize = %d;\n", t.PtrBits)
+	fmt.Fprintf(&rtd, "  let NumRegisters = %d;\n", t.NumRegs)
+	fmt.Fprintf(&rtd, "  let ImmReach = %d;\n", t.ImmReach())
+	fmt.Fprintf(&rtd, "  let BranchReach = %d;\n", t.ImmReach()*2)
+	fmt.Fprintf(&rtd, "  let RegPrefix = \"%s\";\n", t.RegPrefix)
+	if t.RegSymbol != "" {
+		fmt.Fprintf(&rtd, "  let RegSymbol = \"%s\";\n", t.RegSymbol)
+	}
+	rtd.WriteString("}\n")
+	fmt.Fprintf(&rtd, "def %sCSR : CalleeSavedRegs {\n  let SaveList = [", t.Name)
+	for i, r := range t.CalleeSaved {
+		if i > 0 {
+			rtd.WriteString(", ")
+		}
+		rtd.WriteString(t.RegEnum(r))
+	}
+	rtd.WriteString("];\n}\n")
+	tree.Add(dir+t.Name+"RegisterInfo.td", rtd.String())
+
+	// --- <T>InstrInfo.td ---
+	var itd strings.Builder
+	if t.hasPCRelFixup() {
+		itd.WriteString("OperandType = \"OPERAND_PCREL\"\n")
+	}
+	classesSeen := map[InstClass]bool{}
+	for _, inst := range t.InstSet {
+		if !classesSeen[inst.Class] {
+			classesSeen[inst.Class] = true
+			fmt.Fprintf(&itd, "class %s%s : %s {\n}\n",
+				t.Name, instParentClass(inst.Class), instParentClass(inst.Class))
+		}
+	}
+	for _, inst := range t.InstSet {
+		fmt.Fprintf(&itd, "def %s : %s%s {\n", inst.Enum, t.Name, instParentClass(inst.Class))
+		fmt.Fprintf(&itd, "  let AsmString = \"%s\";\n", inst.Mnemonic)
+		fmt.Fprintf(&itd, "  let Opcode = %d;\n", inst.Opcode)
+		fmt.Fprintf(&itd, "  let Size = %d;\n", inst.Size)
+		fmt.Fprintf(&itd, "  let Latency = %d;\n", inst.Latency)
+		itd.WriteString("}\n")
+	}
+	tree.Add(dir+t.Name+"InstrInfo.td", itd.String())
+
+	// --- <T>FixupKinds.h ---
+	var fh strings.Builder
+	fmt.Fprintf(&fh, "namespace %s {\nenum Fixups {\n", t.Name)
+	for i, f := range t.Fixups() {
+		if i == 0 {
+			fmt.Fprintf(&fh, "  %s = FirstTargetFixupKind,\n", f.Name)
+		} else {
+			fmt.Fprintf(&fh, "  %s,\n", f.Name)
+		}
+	}
+	fmt.Fprintf(&fh, "  NumTargetFixupKinds = %d\n};\n}\n", len(t.FixupKinds))
+	tree.Add(dir+t.Name+"FixupKinds.h", fh.String())
+
+	// --- <T>MCExpr.h (VariantKind specialization) ---
+	if t.HasVariantKind {
+		var mh strings.Builder
+		fmt.Fprintf(&mh, "namespace %s {\nenum VariantKind {\n", t.Name)
+		fmt.Fprintf(&mh, "  VK_%s_None = 0,\n", upper(t.Name))
+		fmt.Fprintf(&mh, "  VK_%s_HI = 1,\n", upper(t.Name))
+		fmt.Fprintf(&mh, "  VK_%s_LO = 2\n};\n}\n", upper(t.Name))
+		tree.Add(dir+t.Name+"MCExpr.h", mh.String())
+	}
+
+	// --- llvm/BinaryFormat/ELFRelocs/<T>.def ---
+	var def strings.Builder
+	fmt.Fprintf(&def, "ELF_RELOC(R_%s_NONE, 0)\n", upper(t.Name))
+	for i, f := range t.Fixups() {
+		fmt.Fprintf(&def, "ELF_RELOC(%s, %d)\n", f.Reloc, i+1)
+	}
+	tree.Add("llvm/BinaryFormat/ELFRelocs/"+t.Name+".def", def.String())
+}
+
+func (t *TargetSpec) hasPCRelFixup() bool {
+	for _, k := range t.FixupKinds {
+		if _, _, pcrel := t.fixupInfo(k); pcrel {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildTree renders the core plus the given targets into a fresh tree.
+func BuildTree(targets []*TargetSpec) *tablegen.SourceTree {
+	tree := tablegen.NewSourceTree()
+	RenderCore(tree)
+	for _, t := range targets {
+		RenderTarget(tree, t)
+	}
+	return tree
+}

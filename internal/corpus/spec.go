@@ -1,0 +1,322 @@
+// Package corpus synthesizes the fleet of LLVM-shaped compiler backends
+// VEGA learns from and is evaluated on. The paper trains on 101 backends
+// scraped from GitHub; offline, we generate equivalents: each target is a
+// TargetSpec (ISA naming conventions, fixups, relocations, registers,
+// instructions, subtarget features), from which the package renders
+//
+//   - the target description files under lib/Target/<T> and
+//     llvm/BinaryFormat/ELFRelocs (.td, .h, .def) — what a new target
+//     brings to VEGA, and
+//   - the reference C++ implementations of every interface function in the
+//     seven backend modules (SEL, REG, OPT, SCH, EMI, ASS, DIS) — what
+//     VEGA trains on for existing targets and is scored against for
+//     held-out ones.
+//
+// The LLVM-provided core (LLVMDIRs headers and Target.td) is rendered once
+// and shared by all targets.
+package corpus
+
+import "fmt"
+
+// Module identifies one of the paper's seven backend function modules.
+type Module string
+
+// The seven function modules of Fig. 1.
+const (
+	SEL Module = "SEL" // instruction selection
+	REG Module = "REG" // register allocation
+	OPT Module = "OPT" // machine-dependent optimization
+	SCH Module = "SCH" // instruction scheduling
+	EMI Module = "EMI" // code emission
+	ASS Module = "ASS" // assembly parsing
+	DIS Module = "DIS" // disassembler
+)
+
+// Modules lists the seven modules in the paper's order.
+var Modules = []Module{SEL, REG, OPT, SCH, EMI, ASS, DIS}
+
+// FixupKind is a semantic fixup category shared across targets; each
+// target names a subset of these in its own convention.
+type FixupKind int
+
+// Shared fixup categories.
+const (
+	FixHi FixupKind = iota
+	FixLo
+	FixPCRelHi
+	FixPCRelLo
+	FixBranch
+	FixJump
+	FixCall
+	FixAbs32
+	FixAbs64
+	FixGotHi
+	FixTLS
+)
+
+// fixupInfo derives a fixup kind's slug, width and pc-relativity for one
+// target: the hi/lo family follows the target's low-immediate width
+// (MIPS-style HI16/LO16 vs RISC-V-style HI20/LO12).
+func (t *TargetSpec) fixupInfo(k FixupKind) (slug string, bits int, pcrel bool) {
+	lo := t.LoBits
+	if lo == 0 {
+		lo = 12
+	}
+	hi := 32 - lo
+	switch k {
+	case FixHi:
+		return fmt.Sprintf("hi%d", hi), hi, false
+	case FixLo:
+		return fmt.Sprintf("lo%d", lo), lo, false
+	case FixPCRelHi:
+		return fmt.Sprintf("pcrel_hi%d", hi), hi, true
+	case FixPCRelLo:
+		return fmt.Sprintf("pcrel_lo%d", lo), lo, true
+	case FixBranch:
+		return "branch", lo, true
+	case FixJump:
+		return "jal", hi, true
+	case FixCall:
+		return "call", 32, true
+	case FixAbs32:
+		return "32", 32, false
+	case FixAbs64:
+		return "64", 64, false
+	case FixGotHi:
+		return fmt.Sprintf("got_hi%d", hi), hi, true
+	case FixTLS:
+		return fmt.Sprintf("tls_got_hi%d", hi), hi, true
+	}
+	return "unknown", 32, false
+}
+
+// NameStyle selects the target's identifier naming convention, the main
+// source of cross-target surface variation (fixup_arm_movt_hi16 vs
+// fixup_MIPS_HI16 vs fixup_riscv_pcrel_hi20).
+type NameStyle int
+
+// Naming conventions seen across LLVM backends.
+const (
+	// StyleLower: fixup_<ns>_<slug> (ARM, RISC-V).
+	StyleLower NameStyle = iota
+	// StyleUpper: fixup_<NS>_<SLUG> (MIPS).
+	StyleUpper
+	// StyleShort: fixup_<slug> without the namespace (Lanai, MSP430).
+	StyleShort
+	// StyleCamel: fixup_<Ns><CamelSlug> (a few out-of-tree backends).
+	StyleCamel
+)
+
+// FixupSpec is one fixup a target defines.
+type FixupSpec struct {
+	Kind  FixupKind
+	Name  string // e.g. "fixup_riscv_pcrel_hi20"
+	Reloc string // e.g. "R_RISCV_PCREL_HI20"
+	Bits  int
+	PCRel bool
+}
+
+// InstClass groups instructions by semantic role.
+type InstClass string
+
+// Instruction classes.
+const (
+	ClassALU    InstClass = "ALU"
+	ClassLoad   InstClass = "LOAD"
+	ClassStore  InstClass = "STORE"
+	ClassBranch InstClass = "BRANCH"
+	ClassCall   InstClass = "CALL"
+	ClassMove   InstClass = "MOVE"
+	ClassSIMD   InstClass = "SIMD"
+	ClassLoop   InstClass = "HWLOOP"
+	ClassIO     InstClass = "RTIO" // xCORE-style real-time I/O
+)
+
+// InstSpec is one instruction a target defines.
+type InstSpec struct {
+	Enum     string // record/enum name, e.g. "ADDI"
+	Mnemonic string // assembly mnemonic, e.g. "addi"
+	Class    InstClass
+	Opcode   int
+	Size     int // bytes
+	Latency  int
+}
+
+// TargetSpec describes one backend completely.
+type TargetSpec struct {
+	Name       string // LLVM directory and C++ namespace, e.g. "RISCV"
+	TdName     string // value of Name in <T>.td, e.g. "RISCV"
+	Style      NameStyle
+	BigEndian  bool
+	PtrBits    int
+	StackAlign int
+	// LoBits is the low-immediate width driving the hi/lo fixup family
+	// (12 for RISC-V-style hi20/lo12, 16 for MIPS-style HI16/LO16).
+	LoBits int
+	// ProcName is the default processor model name ("mips32r2").
+	ProcName string
+	// RegSymbol prefixes printed register names ("$" on MIPS, "%" on
+	// SPARC, "" elsewhere).
+	RegSymbol string
+
+	// Registers.
+	NumRegs     int
+	RegPrefix   string
+	SPIndex     int
+	FPIndex     int // -1 when the target has no dedicated frame pointer
+	RAIndex     int // -1 when return addresses live on the stack
+	CalleeSaved []int
+
+	// Subtarget features (drive statement presence in reference code).
+	HasVariantKind  bool
+	HasHardwareLoop bool
+	HasSIMD         bool
+	HasDisassembler bool
+	HasRealtime     bool
+	HasDelaySlots   bool
+	CmpUsesFlags    bool
+
+	FixupKinds []FixupKind
+	InstSet    []InstSpec
+
+	// Evaluation role: training backends feed the model; eval backends are
+	// held out and regenerated.
+	Eval bool
+}
+
+// Fixups expands the target's fixup kinds into named specs.
+func (t *TargetSpec) Fixups() []FixupSpec {
+	out := make([]FixupSpec, 0, len(t.FixupKinds))
+	for _, k := range t.FixupKinds {
+		slug, bits, pcrel := t.fixupInfo(k)
+		out = append(out, FixupSpec{
+			Kind:  k,
+			Name:  t.fixupName(slug),
+			Reloc: t.relocName(slug),
+			Bits:  bits,
+			PCRel: pcrel,
+		})
+	}
+	return out
+}
+
+// procName returns the default processor model name.
+func (t *TargetSpec) procName() string {
+	if t.ProcName != "" {
+		return t.ProcName
+	}
+	return "generic-" + lower(t.Name)
+}
+
+// ImmReach returns the signed reach of the target's low immediate,
+// 1 << (LoBits-1).
+func (t *TargetSpec) ImmReach() int {
+	lo := t.LoBits
+	if lo == 0 {
+		lo = 12
+	}
+	return 1 << (lo - 1)
+}
+
+func (t *TargetSpec) fixupName(slug string) string {
+	switch t.Style {
+	case StyleUpper:
+		return "fixup_" + upper(t.Name) + "_" + upper(slug)
+	case StyleShort:
+		return "fixup_" + slug
+	case StyleCamel:
+		return "fixup_" + camel(t.Name) + camel(slug)
+	default:
+		return "fixup_" + lower(t.Name) + "_" + slug
+	}
+}
+
+func (t *TargetSpec) relocName(slug string) string {
+	return "R_" + upper(t.Name) + "_" + upper(slug)
+}
+
+// RegName renders register i's assembly name.
+func (t *TargetSpec) RegName(i int) string {
+	return fmt.Sprintf("%s%d", t.RegPrefix, i)
+}
+
+// RegEnum renders register i's enum/record name (e.g. "X2").
+func (t *TargetSpec) RegEnum(i int) string {
+	return fmt.Sprintf("%s%d", upper(t.RegPrefix), i)
+}
+
+// SP returns the stack pointer's qualified enum name.
+func (t *TargetSpec) SP() string { return t.Name + "::" + t.RegEnum(t.SPIndex) }
+
+// FP returns the frame pointer's qualified enum name ("" if none).
+func (t *TargetSpec) FP() string {
+	if t.FPIndex < 0 {
+		return ""
+	}
+	return t.Name + "::" + t.RegEnum(t.FPIndex)
+}
+
+// Insts returns the instructions of a class.
+func (t *TargetSpec) Insts(class InstClass) []InstSpec {
+	var out []InstSpec
+	for _, i := range t.InstSet {
+		if i.Class == class {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Inst returns the first instruction of a class, or a zero spec.
+func (t *TargetSpec) Inst(class InstClass) InstSpec {
+	for _, i := range t.InstSet {
+		if i.Class == class {
+			return i
+		}
+	}
+	return InstSpec{}
+}
+
+// QualInst renders an instruction's qualified opcode name.
+func (t *TargetSpec) QualInst(i InstSpec) string { return t.Name + "::" + i.Enum }
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 32
+		}
+	}
+	return string(b)
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'a' && b[i] <= 'z' {
+			b[i] -= 32
+		}
+	}
+	return string(b)
+}
+
+// camel renders "pcrel_hi20" as "PcrelHi20".
+func camel(s string) string {
+	out := make([]byte, 0, len(s))
+	up := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' {
+			up = true
+			continue
+		}
+		if up && c >= 'a' && c <= 'z' {
+			c -= 32
+		} else if !up && c >= 'A' && c <= 'Z' {
+			c += 32
+		}
+		out = append(out, c)
+		up = false
+	}
+	return string(out)
+}

@@ -1,0 +1,189 @@
+package cpp
+
+import "strings"
+
+// Inliner recursively inlines calls to known helper functions into their
+// callers, as VEGA's pre-processing does ("for each non-recursive function,
+// its callee functions are recursively inlined, maintaining calls to
+// target-specific functions"). Helpers are looked up by bare name.
+type Inliner struct {
+	// Helpers maps a bare function name to its definition.
+	Helpers map[string]*Node
+	// MaxDepth bounds recursive inlining; cycles are refused regardless.
+	MaxDepth int
+}
+
+// NewInliner builds an inliner over a set of function definitions.
+func NewInliner(fns []*Node) *Inliner {
+	in := &Inliner{Helpers: make(map[string]*Node), MaxDepth: 8}
+	for _, f := range fns {
+		if f != nil && f.Kind == KindFunction {
+			in.Helpers[bareName(f.Value)] = f
+		}
+	}
+	return in
+}
+
+func bareName(qualified string) string {
+	parts := strings.Split(qualified, "::")
+	return parts[len(parts)-1]
+}
+
+// Inline returns a copy of fn with eligible helper calls expanded.
+// Two call shapes are inlined, matching how LLVM backends wrap helpers:
+//
+//	return Helper(a, b);     -> helper body with params substituted
+//	Helper(a, b);            -> same, minus any trailing return value
+//
+// Calls in other expression positions are left intact. Recursive helpers
+// are never inlined.
+func (in *Inliner) Inline(fn *Node) *Node {
+	out := fn.Clone()
+	body := out.Children[2]
+	in.inlineBlock(body, map[string]bool{bareName(fn.Value): true}, 0)
+	return out
+}
+
+func (in *Inliner) inlineBlock(blk *Node, active map[string]bool, depth int) {
+	if depth > in.MaxDepth {
+		return
+	}
+	var out []*Node
+	for _, st := range blk.Children {
+		expanded := in.expandStmt(st, active, depth)
+		out = append(out, expanded...)
+	}
+	blk.Children = out
+	for _, st := range blk.Children {
+		in.recurseCompound(st, active, depth)
+	}
+}
+
+// recurseCompound walks compound statements to reach nested blocks.
+func (in *Inliner) recurseCompound(st *Node, active map[string]bool, depth int) {
+	switch st.Kind {
+	case KindBlock:
+		in.inlineBlock(st, active, depth)
+	case KindIf:
+		in.recurseCompound(st.Children[1], active, depth)
+		if len(st.Children) == 3 {
+			in.recurseCompound(st.Children[2], active, depth)
+		}
+	case KindSwitch:
+		for _, c := range st.Children[1].Children {
+			in.recurseCompound(c, active, depth)
+		}
+	case KindCase:
+		for _, s := range st.Children[1:] {
+			in.recurseCompound(s, active, depth)
+		}
+	case KindDefault:
+		for _, s := range st.Children {
+			in.recurseCompound(s, active, depth)
+		}
+	case KindFor, KindWhile:
+		in.recurseCompound(st.Children[len(st.Children)-1], active, depth)
+	case KindDoWhile:
+		in.recurseCompound(st.Children[0], active, depth)
+	}
+}
+
+// expandStmt returns the replacement statements for st (usually just st).
+func (in *Inliner) expandStmt(st *Node, active map[string]bool, depth int) []*Node {
+	call, isReturn := inlinableCall(st)
+	if call == nil {
+		return []*Node{st}
+	}
+	name := calleeName(call)
+	helper, ok := in.Helpers[name]
+	if !ok || active[name] {
+		return []*Node{st}
+	}
+	params := helper.Children[1]
+	if len(call.Children)-1 != len(params.Children) {
+		return []*Node{st}
+	}
+	subst := make(map[string]*Node, len(params.Children))
+	for i, p := range params.Children {
+		if p.Value != "" {
+			subst[p.Value] = call.Children[i+1]
+		}
+	}
+	body := helper.Children[2].Clone()
+	substituteIdents(body, subst)
+
+	active[name] = true
+	in.inlineBlock(body, active, depth+1)
+	delete(active, name)
+
+	sts := body.Children
+	if !isReturn {
+		sts = stripReturnValues(sts)
+	}
+	if len(sts) == 0 {
+		return []*Node{NewNode(KindEmpty, "")}
+	}
+	return sts
+}
+
+// inlinableCall recognizes "return F(args);" and "F(args);" statements.
+// It returns the call node and whether the statement was a return.
+func inlinableCall(st *Node) (*Node, bool) {
+	switch st.Kind {
+	case KindReturn:
+		if len(st.Children) == 1 && st.Children[0].Kind == KindCall {
+			c := st.Children[0]
+			if c.Children[0].Kind == KindIdent {
+				return c, true
+			}
+		}
+	case KindExprStmt:
+		if st.Children[0].Kind == KindCall {
+			c := st.Children[0]
+			if c.Children[0].Kind == KindIdent {
+				return c, false
+			}
+		}
+	}
+	return nil, false
+}
+
+func calleeName(call *Node) string {
+	callee := call.Children[0]
+	switch callee.Kind {
+	case KindIdent:
+		return callee.Value
+	case KindQualified:
+		return bareName(callee.Value)
+	}
+	return ""
+}
+
+// substituteIdents replaces identifier leaves per subst throughout a tree.
+func substituteIdents(n *Node, subst map[string]*Node) {
+	for i, c := range n.Children {
+		if c.Kind == KindIdent {
+			if repl, ok := subst[c.Value]; ok {
+				n.Children[i] = repl.Clone()
+				continue
+			}
+		}
+		substituteIdents(c, subst)
+	}
+}
+
+// stripReturnValues converts "return expr;" into "expr;" (or removes bare
+// returns) when a helper was called for effect only.
+func stripReturnValues(sts []*Node) []*Node {
+	out := make([]*Node, 0, len(sts))
+	for _, st := range sts {
+		if st.Kind == KindReturn {
+			if len(st.Children) == 1 {
+				out = append(out, NewNode(KindExprStmt, "", st.Children[0]))
+			}
+			continue
+		}
+		out = append(out, st)
+	}
+	return out
+}

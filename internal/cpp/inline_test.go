@@ -1,0 +1,131 @@
+package cpp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInlineReturnCall(t *testing.T) {
+	outer := mustParseFunction(t, `unsigned W::getRelocType(unsigned Kind, bool IsPCRel) {
+  return GetRelocTypeInner(Kind, IsPCRel);
+}`)
+	inner := mustParseFunction(t, `unsigned GetRelocTypeInner(unsigned Kind, bool IsPCRel) {
+  if (IsPCRel) {
+    return 1;
+  }
+  return 2;
+}`)
+	in := NewInliner([]*Node{inner})
+	got := Print(in.Inline(outer))
+	if strings.Contains(got, "GetRelocTypeInner") {
+		t.Errorf("call not inlined:\n%s", got)
+	}
+	if !strings.Contains(got, "if (IsPCRel)") {
+		t.Errorf("body not spliced:\n%s", got)
+	}
+}
+
+func TestInlineSubstitutesArguments(t *testing.T) {
+	outer := mustParseFunction(t, `int f(int x) {
+  return helper(x + 1);
+}`)
+	helper := mustParseFunction(t, `int helper(int v) {
+  return v * 2;
+}`)
+	in := NewInliner([]*Node{helper})
+	got := Print(in.Inline(outer))
+	if !strings.Contains(got, "return (x + 1) * 2;") {
+		t.Errorf("argument substitution failed:\n%s", got)
+	}
+}
+
+func TestInlineVoidCall(t *testing.T) {
+	outer := mustParseFunction(t, `void f(int x) {
+  emit(x);
+  done();
+}`)
+	helper := mustParseFunction(t, `void emit(int v) {
+  OS.write(v);
+  count = count + 1;
+}`)
+	in := NewInliner([]*Node{helper})
+	got := Print(in.Inline(outer))
+	if strings.Contains(got, "emit(") {
+		t.Errorf("void call not inlined:\n%s", got)
+	}
+	if !strings.Contains(got, "OS.write(x);") {
+		t.Errorf("body not substituted:\n%s", got)
+	}
+	if !strings.Contains(got, "done();") {
+		t.Errorf("unknown call should remain:\n%s", got)
+	}
+}
+
+func TestInlineRefusesRecursion(t *testing.T) {
+	rec := mustParseFunction(t, `int fact(int n) {
+  if (n <= 1) {
+    return 1;
+  }
+  return fact(n - 1);
+}`)
+	in := NewInliner([]*Node{rec})
+	got := Print(in.Inline(rec))
+	if !strings.Contains(got, "fact(n - 1)") {
+		t.Errorf("recursive call must be preserved:\n%s", got)
+	}
+}
+
+func TestInlineTransitive(t *testing.T) {
+	a := mustParseFunction(t, `int a(int x) { return b(x); }`)
+	b := mustParseFunction(t, `int b(int x) { return c(x) + 1; }`)
+	c := mustParseFunction(t, `int c(int x) { return x * 3; }`)
+	in := NewInliner([]*Node{b, c})
+	got := Print(in.Inline(a))
+	// b is inlined; c appears in a non-statement position inside b's body
+	// so it is kept as a call — calls are only expanded at statement level.
+	if strings.Contains(got, "b(") {
+		t.Errorf("b not inlined:\n%s", got)
+	}
+	if !strings.Contains(got, "c(x) + 1") {
+		t.Errorf("expected inlined b body:\n%s", got)
+	}
+}
+
+func TestInlineKeepsUnknownCalls(t *testing.T) {
+	outer := mustParseFunction(t, `int f() { return TargetSpecificThing(); }`)
+	in := NewInliner(nil)
+	got := Print(in.Inline(outer))
+	if !strings.Contains(got, "TargetSpecificThing()") {
+		t.Errorf("unknown (target-specific) call removed:\n%s", got)
+	}
+}
+
+func TestInlineInsideNestedBlocks(t *testing.T) {
+	outer := mustParseFunction(t, `int f(int x) {
+  if (x > 0) {
+    log(x);
+  }
+  return x;
+}`)
+	helper := mustParseFunction(t, `void log(int v) {
+  sink = v;
+}`)
+	in := NewInliner([]*Node{helper})
+	got := Print(in.Inline(outer))
+	if strings.Contains(got, "log(") {
+		t.Errorf("nested call not inlined:\n%s", got)
+	}
+	if !strings.Contains(got, "sink = x;") {
+		t.Errorf("substitution in nested block failed:\n%s", got)
+	}
+}
+
+func TestInlineArityMismatchKept(t *testing.T) {
+	outer := mustParseFunction(t, `int f() { return h(1, 2); }`)
+	helper := mustParseFunction(t, `int h(int a) { return a; }`)
+	in := NewInliner([]*Node{helper})
+	got := Print(in.Inline(outer))
+	if !strings.Contains(got, "h(1, 2)") {
+		t.Errorf("arity-mismatched call should be kept:\n%s", got)
+	}
+}

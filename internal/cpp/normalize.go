@@ -1,0 +1,153 @@
+package cpp
+
+// Normalize applies the paper's pre-processing normalizations to a function
+// AST, in place, returning the (possibly replaced) root:
+//
+//   - if/else-if chains that compare one discriminant against constants
+//     with == are rewritten into switch statements ("we normalize
+//     equivalent selection statements like if elif into switch");
+//   - empty statements are dropped.
+func Normalize(fn *Node) *Node {
+	if fn == nil {
+		return nil
+	}
+	normalizeChildren(fn)
+	return fn
+}
+
+func normalizeChildren(n *Node) {
+	for i, c := range n.Children {
+		n.Children[i] = normalizeStmt(c)
+	}
+	// Drop empty statements from blocks.
+	if n.Kind == KindBlock || n.Kind == KindFunction {
+		kept := n.Children[:0]
+		for _, c := range n.Children {
+			if c.Kind != KindEmpty {
+				kept = append(kept, c)
+			}
+		}
+		n.Children = kept
+	}
+}
+
+func normalizeStmt(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	if n.Kind == KindIf {
+		if sw := ifChainToSwitch(n); sw != nil {
+			normalizeChildren(sw)
+			return sw
+		}
+	}
+	normalizeChildren(n)
+	return n
+}
+
+// ifChainToSwitch converts
+//
+//	if (K == A::x) {...} else if (K == A::y) {...} else {...}
+//
+// into
+//
+//	switch (K) { case A::x: ... case A::y: ... default: ... }
+//
+// when every branch condition is "discriminant == constant" over the same
+// discriminant. Returns nil when the chain does not qualify.
+func ifChainToSwitch(n *Node) *Node {
+	type arm struct {
+		label *Node
+		body  *Node
+	}
+	var arms []arm
+	var deflt *Node
+	var discr *Node
+
+	cur := n
+	for {
+		cond := cur.Children[0]
+		d, label := splitEqCond(cond)
+		if d == nil {
+			return nil
+		}
+		if discr == nil {
+			discr = d
+		} else if !discr.Equal(d) {
+			return nil
+		}
+		arms = append(arms, arm{label: label, body: cur.Children[1]})
+		if len(cur.Children) < 3 {
+			break
+		}
+		els := cur.Children[2]
+		if els.Kind == KindIf {
+			cur = els
+			continue
+		}
+		deflt = els
+		break
+	}
+	if len(arms) < 2 {
+		return nil
+	}
+
+	body := NewNode(KindBlock, "")
+	for _, a := range arms {
+		cs := NewNode(KindCase, "", a.label)
+		cs.Children = append(cs.Children, caseStatements(a.body)...)
+		cs.Children = append(cs.Children, NewNode(KindBreak, ""))
+		body.Children = append(body.Children, cs)
+	}
+	if deflt != nil {
+		def := NewNode(KindDefault, "")
+		def.Children = append(def.Children, caseStatements(deflt)...)
+		def.Children = append(def.Children, NewNode(KindBreak, ""))
+		body.Children = append(body.Children, def)
+	}
+	return NewNode(KindSwitch, "", discr, body)
+}
+
+// splitEqCond decomposes "X == C" where C is a constant-ish expression
+// (number, qualified name, or char); returns (discriminant, label) or
+// (nil, nil).
+func splitEqCond(cond *Node) (*Node, *Node) {
+	if cond == nil || cond.Kind != KindBinary || cond.Value != "==" {
+		return nil, nil
+	}
+	lhs, rhs := cond.Children[0], cond.Children[1]
+	if isCaseConstant(rhs) && !isCaseConstant(lhs) {
+		return lhs, rhs
+	}
+	if isCaseConstant(lhs) && !isCaseConstant(rhs) {
+		return rhs, lhs
+	}
+	return nil, nil
+}
+
+func isCaseConstant(n *Node) bool {
+	switch n.Kind {
+	case KindNumber, KindQualified, KindChar:
+		return true
+	}
+	return false
+}
+
+// caseStatements returns the statements of a branch body, unwrapping a
+// block and removing a trailing break (one is re-added by the caller).
+func caseStatements(body *Node) []*Node {
+	var sts []*Node
+	if body.Kind == KindBlock {
+		sts = body.Children
+	} else {
+		sts = []*Node{body}
+	}
+	out := make([]*Node, 0, len(sts))
+	for _, s := range sts {
+		if s.Kind == KindBreak {
+			continue
+		}
+		out = append(out, s.Clone())
+	}
+	return out
+}

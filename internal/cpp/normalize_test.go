@@ -1,0 +1,139 @@
+package cpp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeIfChainToSwitch(t *testing.T) {
+	fn := mustParseFunction(t, `unsigned f(unsigned K) {
+  if (K == A::x) {
+    return 1;
+  } else if (K == A::y) {
+    return 2;
+  } else {
+    return 0;
+  }
+}`)
+	Normalize(fn)
+	body := fn.Children[2]
+	if len(body.Children) != 1 || body.Children[0].Kind != KindSwitch {
+		t.Fatalf("body after normalize: %v", body)
+	}
+	sw := body.Children[0]
+	arms := sw.Children[1].Children
+	if len(arms) != 3 {
+		t.Fatalf("arms = %d, want 2 cases + default", len(arms))
+	}
+	if arms[0].Kind != KindCase || ExprString(arms[0].Children[0]) != "A::x" {
+		t.Errorf("first arm: %v", arms[0])
+	}
+	if arms[2].Kind != KindDefault {
+		t.Errorf("last arm: %v", arms[2].Kind)
+	}
+}
+
+func TestNormalizeReversedOperands(t *testing.T) {
+	fn := mustParseFunction(t, `int f(int K) {
+  if (1 == K) {
+    return 10;
+  } else if (2 == K) {
+    return 20;
+  }
+  return 0;
+}`)
+	Normalize(fn)
+	if fn.Children[2].Children[0].Kind != KindSwitch {
+		t.Errorf("reversed equality not normalized: %s", Print(fn))
+	}
+}
+
+func TestNormalizeLeavesNonChains(t *testing.T) {
+	src := `int f(int a, int b) {
+  if (a > b) {
+    return a;
+  }
+  return b;
+}`
+	fn := mustParseFunction(t, src)
+	before := Print(fn)
+	Normalize(fn)
+	if Print(fn) != before {
+		t.Errorf("non-equality if was rewritten:\n%s", Print(fn))
+	}
+}
+
+func TestNormalizeRequiresSameDiscriminant(t *testing.T) {
+	fn := mustParseFunction(t, `int f(int a, int b) {
+  if (a == 1) {
+    return 1;
+  } else if (b == 2) {
+    return 2;
+  }
+  return 0;
+}`)
+	Normalize(fn)
+	if fn.Children[2].Children[0].Kind == KindSwitch {
+		t.Error("mixed discriminants must not normalize to switch")
+	}
+}
+
+func TestNormalizeSingleIfNotConverted(t *testing.T) {
+	fn := mustParseFunction(t, `int f(int a) {
+  if (a == 1) {
+    return 1;
+  }
+  return 0;
+}`)
+	Normalize(fn)
+	if fn.Children[2].Children[0].Kind == KindSwitch {
+		t.Error("single-arm if must not become a switch")
+	}
+}
+
+func TestNormalizeNestedChains(t *testing.T) {
+	fn := mustParseFunction(t, `int f(int K, int J) {
+  if (K == 1) {
+    if (J == 1) {
+      return 11;
+    } else if (J == 2) {
+      return 12;
+    }
+    return 10;
+  }
+  return 0;
+}`)
+	Normalize(fn)
+	printed := Print(fn)
+	if !strings.Contains(printed, "switch (J)") {
+		t.Errorf("nested chain not normalized:\n%s", printed)
+	}
+}
+
+func TestNormalizeDropsEmptyStatements(t *testing.T) {
+	fn := mustParseFunction(t, `int f(int a) {
+  ;
+  return a;
+  ;
+}`)
+	Normalize(fn)
+	if len(fn.Children[2].Children) != 1 {
+		t.Errorf("empty statements kept: %s", Print(fn))
+	}
+}
+
+func TestNormalizedSwitchIsValid(t *testing.T) {
+	fn := mustParseFunction(t, `unsigned f(unsigned K) {
+  if (K == A::x) {
+    return 1;
+  } else if (K == A::y) {
+    return 2;
+  } else {
+    return 0;
+  }
+}`)
+	Normalize(fn)
+	if _, err := ParseFunction(Print(fn)); err != nil {
+		t.Errorf("normalized output does not reparse: %v\n%s", err, Print(fn))
+	}
+}

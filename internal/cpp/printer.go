@@ -1,0 +1,355 @@
+package cpp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders an AST back to source text with standard LLVM-ish
+// formatting: two-space indentation, one statement per line.
+func Print(n *Node) string {
+	var b strings.Builder
+	printNode(&b, n, 0)
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func printNode(b *strings.Builder, n *Node, depth int) {
+	if n == nil {
+		return
+	}
+	switch n.Kind {
+	case KindFile:
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteString("\n")
+			}
+			printNode(b, c, depth)
+		}
+	case KindFunction:
+		ret, params, body := n.Children[0], n.Children[1], n.Children[2]
+		indent(b, depth)
+		fmt.Fprintf(b, "%s %s(", ret.Value, n.Value)
+		for i, p := range params.Children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.Children[0].Value)
+			if p.Value != "" {
+				b.WriteString(" " + p.Value)
+			}
+		}
+		b.WriteString(") {\n")
+		for _, st := range body.Children {
+			printNode(b, st, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	case KindBlock:
+		indent(b, depth)
+		b.WriteString("{\n")
+		for _, st := range n.Children {
+			printNode(b, st, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	case KindDecl:
+		indent(b, depth)
+		b.WriteString(declText(n))
+		b.WriteString("\n")
+	case KindExprStmt:
+		indent(b, depth)
+		b.WriteString(ExprString(n.Children[0]) + ";")
+		b.WriteString("\n")
+	case KindReturn:
+		indent(b, depth)
+		if len(n.Children) > 0 {
+			b.WriteString("return " + ExprString(n.Children[0]) + ";")
+		} else {
+			b.WriteString("return;")
+		}
+		b.WriteString("\n")
+	case KindBreak:
+		indent(b, depth)
+		b.WriteString("break;\n")
+	case KindContinue:
+		indent(b, depth)
+		b.WriteString("continue;\n")
+	case KindEmpty:
+		indent(b, depth)
+		b.WriteString(";\n")
+	case KindIf:
+		indent(b, depth)
+		fmt.Fprintf(b, "if (%s) ", ExprString(n.Children[0]))
+		printStmtAsBlock(b, n.Children[1], depth)
+		if len(n.Children) == 3 {
+			indent(b, depth)
+			b.WriteString("else ")
+			if n.Children[2].Kind == KindIf {
+				// "else if" chains stay flat.
+				var inner strings.Builder
+				printNode(&inner, n.Children[2], depth)
+				b.WriteString(strings.TrimLeft(inner.String(), " "))
+			} else {
+				printStmtAsBlock(b, n.Children[2], depth)
+			}
+		}
+	case KindSwitch:
+		indent(b, depth)
+		fmt.Fprintf(b, "switch (%s) {\n", ExprString(n.Children[0]))
+		for _, c := range n.Children[1].Children {
+			printNode(b, c, depth)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	case KindCase:
+		indent(b, depth)
+		fmt.Fprintf(b, "case %s:\n", ExprString(n.Children[0]))
+		for _, st := range n.Children[1:] {
+			printNode(b, st, depth+1)
+		}
+	case KindDefault:
+		indent(b, depth)
+		b.WriteString("default:\n")
+		for _, st := range n.Children {
+			printNode(b, st, depth+1)
+		}
+	case KindFor:
+		indent(b, depth)
+		init := strings.TrimSuffix(stmtHeadText(n.Children[0]), ";")
+		fmt.Fprintf(b, "for (%s; %s; %s) ", init,
+			forClause(n.Children[1]), forClause(n.Children[2]))
+		printStmtAsBlock(b, n.Children[3], depth)
+	case KindWhile:
+		indent(b, depth)
+		fmt.Fprintf(b, "while (%s) ", ExprString(n.Children[0]))
+		printStmtAsBlock(b, n.Children[1], depth)
+	case KindDoWhile:
+		indent(b, depth)
+		b.WriteString("do {\n")
+		body := n.Children[0]
+		if body.Kind == KindBlock {
+			for _, st := range body.Children {
+				printNode(b, st, depth+1)
+			}
+		} else {
+			printNode(b, body, depth+1)
+		}
+		indent(b, depth)
+		fmt.Fprintf(b, "} while (%s);\n", ExprString(n.Children[1]))
+	default:
+		indent(b, depth)
+		b.WriteString(ExprString(n))
+		b.WriteString("\n")
+	}
+}
+
+// forClause renders a for-loop condition or post expression.
+func forClause(n *Node) string {
+	if n == nil || n.Kind == KindEmpty {
+		return ""
+	}
+	return ExprString(n)
+}
+
+// printStmtAsBlock prints a statement as a braced block body; single
+// statements are wrapped so output is uniform.
+func printStmtAsBlock(b *strings.Builder, n *Node, depth int) {
+	if n.Kind == KindBlock {
+		b.WriteString("{\n")
+		for _, st := range n.Children {
+			printNode(b, st, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+		return
+	}
+	b.WriteString("{\n")
+	printNode(b, n, depth+1)
+	indent(b, depth)
+	b.WriteString("}\n")
+}
+
+// declText renders a declaration statement on one line.
+func declText(n *Node) string {
+	var b strings.Builder
+	b.WriteString(n.Children[0].Value)
+	for i, d := range n.Children[1:] {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(" ")
+		switch {
+		case d.Kind == KindIdent:
+			b.WriteString(d.Value)
+		case d.Kind == KindAssign && d.Value == "()":
+			call := d.Children[1]
+			b.WriteString(d.Children[0].Value + "(")
+			for j, arg := range call.Children[1:] {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(ExprString(arg))
+			}
+			b.WriteString(")")
+		default:
+			b.WriteString(d.Children[0].Value + " = " + ExprString(d.Children[1]))
+		}
+	}
+	b.WriteString(";")
+	return b.String()
+}
+
+// stmtHeadText renders the one-line "head" of a statement: the full text
+// for simple statements, the header line ("if (X) {", "switch (K) {",
+// "case V:") for compound ones. This is exactly the paper's notion of a
+// statement, used for templatization and feature vectors.
+func stmtHeadText(n *Node) string {
+	switch n.Kind {
+	case KindDecl:
+		return declText(n)
+	case KindExprStmt:
+		return ExprString(n.Children[0]) + ";"
+	case KindReturn:
+		if len(n.Children) > 0 {
+			return "return " + ExprString(n.Children[0]) + ";"
+		}
+		return "return;"
+	case KindBreak:
+		return "break;"
+	case KindContinue:
+		return "continue;"
+	case KindEmpty:
+		return ";"
+	case KindIf:
+		return "if (" + ExprString(n.Children[0]) + ") {"
+	case KindSwitch:
+		return "switch (" + ExprString(n.Children[0]) + ") {"
+	case KindCase:
+		return "case " + ExprString(n.Children[0]) + ":"
+	case KindDefault:
+		return "default:"
+	case KindFor:
+		return "for (" + strings.TrimSuffix(stmtHeadText(n.Children[0]), ";") + "; " +
+			forClause(n.Children[1]) + "; " + forClause(n.Children[2]) + ") {"
+	case KindWhile:
+		return "while (" + ExprString(n.Children[0]) + ") {"
+	case KindDoWhile:
+		return "do {"
+	case KindBlock:
+		return "{"
+	default:
+		return ExprString(n)
+	}
+}
+
+// StmtHead returns the one-line head text of a statement node.
+func StmtHead(n *Node) string { return stmtHeadText(n) }
+
+// ExprString renders an expression AST to source text.
+func ExprString(n *Node) string {
+	var b strings.Builder
+	exprInto(&b, n, 0)
+	return b.String()
+}
+
+// exprInto renders with minimal parentheses: parens are added when a
+// child's precedence is lower than required by context.
+func exprInto(b *strings.Builder, n *Node, minPrec int) {
+	if n == nil {
+		return
+	}
+	switch n.Kind {
+	case KindIdent, KindNumber, KindString, KindChar, KindQualified, KindType:
+		b.WriteString(n.Value)
+	case KindBinary:
+		prec := binaryPrec[n.Value]
+		if prec < minPrec {
+			b.WriteString("(")
+		}
+		exprInto(b, n.Children[0], prec)
+		b.WriteString(" " + n.Value + " ")
+		exprInto(b, n.Children[1], prec+1)
+		if prec < minPrec {
+			b.WriteString(")")
+		}
+	case KindUnary:
+		if n.Value == "sizeof" {
+			b.WriteString("sizeof(")
+			exprInto(b, n.Children[0], 0)
+			b.WriteString(")")
+			return
+		}
+		b.WriteString(n.Value)
+		exprInto(b, n.Children[0], 11)
+	case KindPostfix:
+		exprInto(b, n.Children[0], 11)
+		b.WriteString(n.Value)
+	case KindAssign:
+		if minPrec > 0 {
+			b.WriteString("(")
+		}
+		exprInto(b, n.Children[0], 1)
+		b.WriteString(" " + n.Value + " ")
+		exprInto(b, n.Children[1], 0)
+		if minPrec > 0 {
+			b.WriteString(")")
+		}
+	case KindTernary:
+		if minPrec > 0 {
+			b.WriteString("(")
+		}
+		exprInto(b, n.Children[0], 1)
+		b.WriteString(" ? ")
+		exprInto(b, n.Children[1], 0)
+		b.WriteString(" : ")
+		exprInto(b, n.Children[2], 0)
+		if minPrec > 0 {
+			b.WriteString(")")
+		}
+	case KindCall:
+		exprInto(b, n.Children[0], 11)
+		b.WriteString("(")
+		for i, a := range n.Children[1:] {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			exprInto(b, a, 0)
+		}
+		b.WriteString(")")
+	case KindMember:
+		exprInto(b, n.Children[0], 11)
+		b.WriteString(n.Value)
+		b.WriteString(n.Children[1].Value)
+	case KindIndex:
+		exprInto(b, n.Children[0], 11)
+		b.WriteString("[")
+		exprInto(b, n.Children[1], 0)
+		b.WriteString("]")
+	case KindCast:
+		if n.Value != "" {
+			b.WriteString(n.Value + "<" + n.Children[0].Value + ">(")
+			exprInto(b, n.Children[1], 0)
+			b.WriteString(")")
+			return
+		}
+		b.WriteString("(" + n.Children[0].Value + ")")
+		exprInto(b, n.Children[1], 11)
+	case KindInit:
+		b.WriteString("{")
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			exprInto(b, c, 0)
+		}
+		b.WriteString("}")
+	default:
+		fmt.Fprintf(b, "/*?%s*/", n.Kind)
+	}
+}

@@ -1,0 +1,144 @@
+package cpp
+
+import (
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, src string) string {
+	t.Helper()
+	fn, err := ParseFunction(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	printed := Print(fn)
+	if _, err := ParseFunction(printed); err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	return printed
+}
+
+func TestPrintForLoop(t *testing.T) {
+	out := roundTrip(t, `void f(unsigned Size) {
+  for (unsigned i = 0; i != Size; ++i) {
+    OS.write(i);
+  }
+}`)
+	if !strings.Contains(out, "for (unsigned i = 0; i != Size; ++i) {") {
+		t.Errorf("for header mangled:\n%s", out)
+	}
+}
+
+func TestPrintWhileAndDo(t *testing.T) {
+	out := roundTrip(t, `int f(int n) {
+  while (n > 0) {
+    n--;
+  }
+  do {
+    n++;
+  } while (n < 5);
+  return n;
+}`)
+	for _, want := range []string{"while (n > 0) {", "do {", "} while (n < 5);"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintElseIfChainStaysFlat(t *testing.T) {
+	out := roundTrip(t, `int f(int a) {
+  if (a > 2) {
+    return 2;
+  } else if (a > 1) {
+    return 1;
+  } else {
+    return 0;
+  }
+}`)
+	if !strings.Contains(out, "else if (a > 1)") {
+		t.Errorf("else-if chain nested instead of flat:\n%s", out)
+	}
+}
+
+func TestPrintPrecedenceParens(t *testing.T) {
+	cases := map[string]string{
+		"(a + b) * c":      "(a + b) * c",
+		"a + b * c":        "a + b * c",
+		"a << 2 | b":       "a << 2 | b",
+		"(a | b) & c":      "(a | b) & c",
+		"-(a + b)":         "-(a + b)",
+		"(a == b) == true": "a == b == true", // left-assoc: parens redundant
+	}
+	for src, want := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if got := ExprString(e); got != want {
+			t.Errorf("ExprString(%q) = %q, want %q", src, got, want)
+		}
+		// Printing must preserve evaluation structure.
+		e2, err := ParseExpr(ExprString(e))
+		if err != nil || !e.Equal(e2) {
+			t.Errorf("%q: print/parse not stable", src)
+		}
+	}
+}
+
+func TestPrintCastsAndCalls(t *testing.T) {
+	for _, src := range []string{
+		"static_cast<unsigned>(Modifier)",
+		"(unsigned)x + 1",
+		"unsigned(y)",
+		"MI.getOperand(0).getReg()",
+		"arr[i + 1]",
+		"sizeof(x)",
+		"f(a, b, g(c))",
+	} {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		e2, err := ParseExpr(ExprString(e))
+		if err != nil {
+			t.Fatalf("%s: reparse %q: %v", src, ExprString(e), err)
+		}
+		if !e.Equal(e2) {
+			t.Errorf("%q: round trip changed tree: %q", src, ExprString(e))
+		}
+	}
+}
+
+func TestStmtHeadForms(t *testing.T) {
+	cases := map[string]string{
+		"return;":                          "return;",
+		"break;":                           "break;",
+		"continue;":                        "continue;",
+		"while (a) { b(); }":               "while (a) {",
+		"do { b(); } while (a);":           "do {",
+		"for (i = 0; i < n; i++) { b(); }": "for (i = 0; i < n; i++) {",
+	}
+	for src, want := range cases {
+		st, err := ParseStatement(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if got := StmtHead(st); got != want {
+			t.Errorf("StmtHead(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestPrintDeclForms(t *testing.T) {
+	out := roundTrip(t, `void f() {
+  int a, b = 2;
+  SmallVector<int, 4> v;
+  const MCExpr *e = nullptr;
+}`)
+	for _, want := range []string{"int a, b = 2;", "SmallVector<int, 4> v;", "const MCExpr * e = nullptr;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

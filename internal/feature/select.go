@@ -1,0 +1,635 @@
+package feature
+
+import (
+	"strings"
+
+	"vega/internal/cpp"
+	"vega/internal/tablegen"
+	"vega/internal/template"
+)
+
+// GlobalFeatureProps lists the subtarget feature bits every template's
+// schema carries regardless of its own tokens. The paper's feature vector
+// spans all 345 properties globally; these flags are the slice of it that
+// predicts whole-function presence (a DIS function exists only on
+// HasDisassembler targets even though its body never names the bit).
+func (e *Extractor) GlobalFeatureProps() []Property {
+	var out []Property
+	for _, name := range []string{
+		"HasVariantKind", "HasHardwareLoop", "HasSIMD", "HasRealtimeISA",
+		"HasDelaySlots", "HasCmpFlags", "IsBigEndian", "HasDisassembler",
+		"HasFramePointer", "HasReturnAddressReg",
+	} {
+		if !e.InPropList(name) {
+			continue
+		}
+		out = append(out, Property{
+			Name: name, Kind: Independent, Method: MethodToken,
+			IdentifiedSite: e.propSites[name],
+		})
+	}
+	return out
+}
+
+// Select runs Algorithm 1 over a function template for a set of training
+// targets, producing the template's property schema and every target's
+// values.
+func (e *Extractor) Select(ft *template.FunctionTemplate, targets []string) *TemplateFeatures {
+	tf := &TemplateFeatures{
+		FT:       ft,
+		VarProps: make(map[int][]int),
+		Targets:  make(map[string]*TargetFeatures, len(targets)),
+	}
+	tf.Props = append(tf.Props, e.GlobalFeatureProps()...)
+
+	// --- independent properties over the common code (lines 8-24) ---
+	// First pass: decide, per candidate token, which discovery case hits
+	// on each target; tokens hit by cases 1/2 anywhere are "specialized",
+	// tokens hit only by case 3 are universal.
+	type indDiscovery struct {
+		prop      Property
+		perTarget map[string]BoolVal
+	}
+	var indOrder []string
+	indFound := map[string]*indDiscovery{}
+
+	commonTokens := commonTokenSet(ft)
+	for _, target := range targets {
+		tgtDirs := TGTDirs(target)
+		for _, tok := range commonTokens {
+			name, method, site, ok := e.discoverIndependent(tok, tgtDirs)
+			if !ok {
+				continue
+			}
+			d := indFound[name]
+			if d == nil {
+				d = &indDiscovery{
+					prop: Property{
+						Name:           name,
+						Kind:           Independent,
+						Method:         method,
+						IdentifiedSite: e.propSites[name],
+					},
+					perTarget: map[string]BoolVal{},
+				}
+				indFound[name] = d
+				indOrder = append(indOrder, name)
+			}
+			if method != MethodCore {
+				// Specialized hit for this target overrides the universal
+				// default and upgrades the property's method.
+				d.perTarget[target] = BoolVal{Value: true, UpdateSite: site}
+				if d.prop.Method == MethodCore {
+					d.prop.Method = method
+				}
+			}
+		}
+	}
+	for _, name := range indOrder {
+		if tf.PropIndex(name) >= 0 {
+			continue // already carried as a global feature property
+		}
+		d := indFound[name]
+		tf.Props = append(tf.Props, d.prop)
+	}
+
+	// --- dependent properties over placeholders (lines 25-40) ---
+	type depDiscovery struct {
+		prop Property
+	}
+	depIndex := map[string]int{} // prop name -> index in tf.Props
+	for ri := range ft.Rows {
+		ids := ft.Rows[ri].VarIDs()
+		if len(ids) == 0 {
+			continue
+		}
+		for _, target := range targets {
+			vals, ok := ft.Values(ri, target)
+			if !ok {
+				continue
+			}
+			for _, id := range ids {
+				val, ok := vals[id]
+				if !ok || val == "" {
+					continue
+				}
+				for _, vtok := range strings.Fields(val) {
+					vtok = strings.Trim(vtok, "\"")
+					prop, ok := e.discoverDependent(vtok, target)
+					if !ok {
+						continue
+					}
+					pi, exists := depIndex[prop.Name]
+					if !exists {
+						pi = len(tf.Props)
+						depIndex[prop.Name] = pi
+						tf.Props = append(tf.Props, prop)
+					}
+					if !containsInt(tf.VarProps[id], pi) {
+						tf.VarProps[id] = append(tf.VarProps[id], pi)
+					}
+				}
+			}
+		}
+	}
+
+	// --- per-target values ---
+	for _, target := range targets {
+		tf.Targets[target] = e.TargetValues(tf, target)
+	}
+	return tf
+}
+
+// TargetValues resolves every property of the schema against one target's
+// description files. It works for training targets and unseen ones alike —
+// this is what Stage 3 calls for a new target.
+func (e *Extractor) TargetValues(tf *TemplateFeatures, target string) *TargetFeatures {
+	tgtDirs := TGTDirs(target)
+	out := &TargetFeatures{
+		Target: target,
+		Bools:  make(map[string]BoolVal),
+		Deps:   make(map[string]DepInfo),
+	}
+	for _, p := range tf.Props {
+		switch p.Kind {
+		case Independent:
+			if p.Method == MethodCore {
+				out.Bools[p.Name] = BoolVal{Value: true, UpdateSite: p.IdentifiedSite}
+				continue
+			}
+			if name, m, site, ok := e.discoverIndependent(p.Name, tgtDirs); ok && name == p.Name && m != MethodCore {
+				out.Bools[p.Name] = BoolVal{Value: true, UpdateSite: site}
+			} else if site, ok := e.partialAssignSite(p.Name, tgtDirs); ok {
+				out.Bools[p.Name] = BoolVal{Value: true, UpdateSite: site}
+			} else {
+				out.Bools[p.Name] = BoolVal{Value: false}
+			}
+		case Dependent:
+			out.Deps[p.Name] = e.dependentCandidates(p, target)
+		}
+	}
+	return out
+}
+
+// commonTokenSet lists the distinct literal identifier tokens of the
+// template's common code, in first-appearance order.
+func commonTokenSet(ft *template.FunctionTemplate) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, row := range ft.Rows {
+		for _, el := range row.Pattern {
+			if el.Var || !isIdent(el.Text) || cpp.IsKeywordText(el.Text) {
+				continue
+			}
+			if !seen[el.Text] {
+				seen[el.Text] = true
+				out = append(out, el.Text)
+			}
+		}
+	}
+	return out
+}
+
+// discoverIndependent applies the three cases of lines 8-24 to one token.
+func (e *Extractor) discoverIndependent(tok string, tgtDirs []string) (name string, method Method, site string, ok bool) {
+	// Case 1: token occurs under TGTDIRs and is a candidate property.
+	if e.InPropList(tok) {
+		if paths := e.Tree.FindToken(tok, tgtDirs); len(paths) > 0 {
+			return tok, MethodToken, paths[0], true
+		}
+	}
+	// Case 2: partial match against assignment RHS under TGTDIRs.
+	if name, site, ok := e.partialAssignProp(tok, tgtDirs); ok {
+		return name, MethodPartial, site, true
+	}
+	// Case 3: declared only in LLVMDIRs.
+	if e.InPropList(tok) {
+		return tok, MethodCore, e.propSites[tok], true
+	}
+	return "", 0, "", false
+}
+
+// partialAssignProp finds an assignment "prop = str" under tgtDirs whose
+// RHS partially matches tok, with prop in the candidate set.
+func (e *Extractor) partialAssignProp(tok string, tgtDirs []string) (string, string, bool) {
+	for _, a := range e.Tree.AssignmentsUnder(tgtDirs) {
+		if !a.IsStr || !e.InPropList(a.LHS) {
+			continue
+		}
+		if PartialMatch(tok, a.RHS) {
+			return a.LHS, a.Path, true
+		}
+	}
+	return "", "", false
+}
+
+// partialAssignSite checks whether the property itself is assigned under
+// tgtDirs ("OperandType = ..." present for this target).
+func (e *Extractor) partialAssignSite(prop string, tgtDirs []string) (string, bool) {
+	for _, a := range e.Tree.AssignmentsUnder(tgtDirs) {
+		if a.LHS == prop {
+			return a.Path, true
+		}
+	}
+	return "", false
+}
+
+// discoverDependent applies lines 25-40 to one placeholder value token.
+func (e *Extractor) discoverDependent(val, target string) (Property, bool) {
+	tgtDirs := TGTDirs(target)
+	// Case 1a: enum membership under TGTDIRs.
+	if enumName, path, ok := e.Tree.EnumContaining(val, tgtDirs); ok {
+		if e.InPropList(enumName) {
+			return Property{
+				Name: enumName, Kind: Dependent, Method: MethodEnum,
+				IdentifiedSite: e.propSites[enumName], EnumName: enumName,
+			}, true
+		}
+		// Correlate through member initializers with an LLVMDIRs enum
+		// (Fixups -> MCFixupKind via FirstTargetFixupKind).
+		if core, ok := e.correlateEnum(enumName, path); ok {
+			return Property{
+				Name: core, Kind: Dependent, Method: MethodEnum,
+				IdentifiedSite: e.propSites[core], EnumName: core,
+			}, true
+		}
+	}
+	// Case 1b: element of a TableGen list assignment "prop = [..., val, ...]".
+	for _, la := range e.Tree.ListAssignmentsUnder(tgtDirs) {
+		if !e.InPropList(la.LHS) {
+			continue
+		}
+		for _, item := range la.Items {
+			if item == val {
+				return Property{
+					Name: la.LHS, Kind: Dependent, Method: MethodList,
+					IdentifiedSite: e.propSites[la.LHS],
+				}, true
+			}
+		}
+	}
+	// Case 1c: exact assignment "prop = val".
+	for _, a := range e.Tree.AssignmentsUnder(tgtDirs) {
+		if a.RHS == val && e.InPropList(a.LHS) {
+			return Property{
+				Name: a.LHS, Kind: Dependent, Method: MethodAssign,
+				IdentifiedSite: e.propSites[a.LHS],
+			}, true
+		}
+	}
+	// Case 1d: TableGen record whose class chain reaches an LLVMDIRs class.
+	if class, ok := e.recordClass(val, tgtDirs); ok {
+		return Property{
+			Name: class, Kind: Dependent, Method: MethodRecord,
+			IdentifiedSite: e.propSites[class], ClassName: class,
+		}, true
+	}
+	// Case 2: partial match against assignment RHS.
+	for _, a := range e.Tree.AssignmentsUnder(tgtDirs) {
+		if a.IsStr && e.InPropList(a.LHS) && PartialMatch(val, a.RHS) {
+			return Property{
+				Name: a.LHS, Kind: Dependent, Method: MethodAssign,
+				IdentifiedSite: e.propSites[a.LHS],
+			}, true
+		}
+	}
+	return Property{}, false
+}
+
+// correlateEnum maps a target enum to the LLVMDIRs enum its member
+// initializers reference.
+func (e *Extractor) correlateEnum(enumName, path string) (string, bool) {
+	content, _ := e.Tree.Content(path)
+	enums, err := tablegen.ParseEnums(content)
+	if err != nil {
+		return "", false
+	}
+	llvmEnums := e.Tree.EnumsUnder(e.LLVMDirs)
+	for _, en := range enums {
+		if en.Name != enumName {
+			continue
+		}
+		for _, m := range en.Members {
+			if m.Value == "" {
+				continue
+			}
+			for _, ref := range strings.Fields(m.Value) {
+				for corePath, ces := range llvmEnums {
+					for _, ce := range ces {
+						if ce.Has(ref) {
+							_ = corePath
+							return ce.Name, true
+						}
+					}
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// recordsFor builds (and caches) the class/def indexes of one directory
+// set, keyed by the joined prefix list.
+func (e *Extractor) recordsFor(tgtDirs []string) *recordMaps {
+	key := strings.Join(tgtDirs, "|")
+	if rm, ok := e.recordCache[key]; ok {
+		return rm
+	}
+	rm := &recordMaps{classes: map[string][]string{}, defs: map[string][]string{}}
+	for _, path := range e.append2(e.Tree.PathsUnder(tgtDirs), e.Tree.PathsUnder(e.LLVMDirs)) {
+		if !strings.HasSuffix(path, ".td") {
+			continue
+		}
+		td, ok := e.parseTD(path)
+		if !ok {
+			continue
+		}
+		for _, rec := range td.Records {
+			if rec.Kind == "class" {
+				rm.classes[rec.Name] = rec.Parents
+			} else if rec.Name != "" {
+				rm.defs[rec.Name] = rec.Parents
+			}
+		}
+	}
+	e.recordCache[key] = rm
+	return rm
+}
+
+// recordClass resolves a def name under tgtDirs to its root LLVMDIRs class.
+func (e *Extractor) recordClass(val string, tgtDirs []string) (string, bool) {
+	rm := e.recordsFor(tgtDirs)
+	classes, defs := rm.classes, rm.defs
+	parents, ok := defs[val]
+	if !ok {
+		return "", false
+	}
+	// Walk the class chain breadth-first to the first candidate class.
+	queue := append([]string(nil), parents...)
+	seen := map[string]bool{}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		if e.InPropList(c) {
+			return c, true
+		}
+		queue = append(queue, classes[c]...)
+	}
+	return "", false
+}
+
+func (e *Extractor) append2(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// targetPaths lists the description files that belong to one target:
+// everything under lib/Target/<T>, plus files in shared TGTDIRs whose base
+// name carries the target's name (llvm/BinaryFormat/ELFRelocs/<T>.def).
+func (e *Extractor) targetPaths(target string) []string {
+	var out []string
+	ownPrefix := "lib/Target/" + target + "/"
+	for _, path := range e.Tree.PathsUnder(TGTDirs(target)) {
+		if strings.HasPrefix(path, ownPrefix) {
+			out = append(out, path)
+			continue
+		}
+		base := path[strings.LastIndex(path, "/")+1:]
+		if strings.HasPrefix(strings.ToLower(base), strings.ToLower(target)) {
+			out = append(out, path)
+		}
+	}
+	return out
+}
+
+// dependentCandidates mines a target's TgtValSet for one dependent
+// property.
+func (e *Extractor) dependentCandidates(p Property, target string) DepInfo {
+	tgtDirs := TGTDirs(target)
+	switch p.Method {
+	case MethodEnum:
+		// Find the enum under TGTDIRs correlated with p.EnumName: same
+		// name, or member initializers referencing it.
+		for _, path := range e.targetPaths(target) {
+			content, _ := e.Tree.Content(path)
+			if !strings.HasSuffix(path, ".h") && !strings.HasSuffix(path, ".def") {
+				continue
+			}
+			enums, err := tablegen.ParseEnums(content)
+			if err != nil {
+				continue
+			}
+			if strings.HasSuffix(path, ".def") {
+				macros, err := tablegen.ParseDefFile(content)
+				if err == nil {
+					var en tablegen.Enum
+					for _, m := range macros {
+						en.Name = m.Name
+						if len(m.Args) > 0 {
+							en.Members = append(en.Members, tablegen.EnumMember{Name: m.Args[0]})
+						}
+					}
+					if en.Name != "" {
+						enums = append(enums, en)
+					}
+				}
+			}
+			for _, en := range enums {
+				if en.Name == p.EnumName || e.enumReferences(en, p.EnumName) {
+					return DepInfo{Candidates: realMembers(en), UpdateSite: path}
+				}
+			}
+		}
+	case MethodRecord:
+		var cands []string
+		var site string
+		for _, path := range e.targetPaths(target) {
+			if !strings.HasSuffix(path, ".td") {
+				continue
+			}
+			td, ok := e.parseTD(path)
+			if !ok {
+				continue
+			}
+			for _, rec := range td.Records {
+				if rec.Kind != "def" || rec.Name == "" {
+					continue
+				}
+				if _, ok := e.recordClassIs(rec.Name, p.ClassName, tgtDirs); ok {
+					cands = append(cands, rec.Name)
+					site = path
+				}
+			}
+		}
+		return DepInfo{Candidates: cands, UpdateSite: site}
+	case MethodList:
+		own := map[string]bool{}
+		for _, path := range e.targetPaths(target) {
+			own[path] = true
+		}
+		for _, la := range e.Tree.ListAssignmentsUnder(tgtDirs) {
+			if la.LHS == p.Name && own[la.Path] {
+				return DepInfo{Candidates: la.Items, UpdateSite: la.Path}
+			}
+		}
+	case MethodAssign:
+		var cands []string
+		var site string
+		seen := map[string]bool{}
+		own := map[string]bool{}
+		for _, path := range e.targetPaths(target) {
+			own[path] = true
+		}
+		for _, a := range e.Tree.AssignmentsUnder(tgtDirs) {
+			if !own[a.Path] {
+				continue
+			}
+			if a.LHS == p.Name && !seen[a.RHS] {
+				seen[a.RHS] = true
+				cands = append(cands, a.RHS)
+				site = a.Path
+			}
+		}
+		return DepInfo{Candidates: cands, UpdateSite: site}
+	}
+	return DepInfo{}
+}
+
+// enumReferences reports whether any member initializer of en references a
+// member of the named LLVMDIRs enum.
+func (e *Extractor) enumReferences(en tablegen.Enum, coreEnum string) bool {
+	coreMembers := e.Tree.EnumMembers(coreEnum, e.LLVMDirs)
+	if len(coreMembers) == 0 {
+		return false
+	}
+	coreSet := map[string]bool{}
+	for _, m := range coreMembers {
+		coreSet[m] = true
+	}
+	for _, m := range en.Members {
+		for _, ref := range strings.Fields(m.Value) {
+			if coreSet[ref] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recordClassIs checks whether def's class chain reaches class.
+func (e *Extractor) recordClassIs(def, class string, tgtDirs []string) (string, bool) {
+	got, ok := e.recordClass(def, tgtDirs)
+	if ok && got == class {
+		return got, true
+	}
+	return "", false
+}
+
+// realMembers drops bookkeeping enumerators (counts, sentinels) from a
+// candidate set.
+func realMembers(en tablegen.Enum) []string {
+	var out []string
+	for _, m := range en.Members {
+		if strings.Contains(m.Name, "Num") || strings.HasPrefix(m.Name, "Last") ||
+			strings.HasPrefix(m.Name, "First") {
+			continue
+		}
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// PartialMatch implements the paper's loose string matching: descriptive
+// identifiers like IsPCRel match values like "OPERAND_PCREL" because a
+// camel-case run of one, normalized, is a substring of the other.
+func PartialMatch(tok, str string) bool {
+	nt, ns := normalize(tok), normalize(str)
+	if nt == "" || ns == "" {
+		return false
+	}
+	if len(nt) >= 4 && strings.Contains(ns, nt) {
+		return true
+	}
+	if len(ns) >= 4 && strings.Contains(nt, ns) {
+		return true
+	}
+	// A short value that prefixes the token still matches: "ARM" explains
+	// ARMELFObjectWriter.
+	if len(ns) >= 3 && strings.HasPrefix(nt, ns) {
+		return true
+	}
+	// Contiguous camel-case runs of tok (length >= 4 normalized).
+	runs := camelRuns(tok)
+	for i := 0; i < len(runs); i++ {
+		for j := i; j < len(runs); j++ {
+			sub := normalize(strings.Join(runs[i:j+1], ""))
+			if len(sub) >= 4 && strings.Contains(ns, sub) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// normalize uppercases and strips separators.
+func normalize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r == '_' || r == ' ' {
+			continue
+		}
+		if r >= 'a' && r <= 'z' {
+			r -= 32
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// camelRuns splits CamelCase and snake_case identifiers into runs.
+func camelRuns(s string) []string {
+	var runs []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			runs = append(runs, cur.String())
+			cur.Reset()
+		}
+	}
+	rs := []rune(s)
+	isUp := func(r rune) bool { return r >= 'A' && r <= 'Z' }
+	isLo := func(r rune) bool { return r >= 'a' && r <= 'z' }
+	for i, r := range rs {
+		switch {
+		case r == '_':
+			flush()
+		case isUp(r):
+			// Boundaries: lower->Upper ("IsPC"), and Upper->Upper+lower
+			// ("PCRel" splits before "Rel").
+			if i > 0 && isLo(rs[i-1]) {
+				flush()
+			} else if i > 0 && isUp(rs[i-1]) && i+1 < len(rs) && isLo(rs[i+1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return runs
+}

@@ -1,0 +1,93 @@
+package forkflow
+
+import (
+	"strings"
+	"testing"
+
+	"vega/internal/corpus"
+)
+
+func buildCorpus(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	c, err := corpus.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestForkCoversDonorFunctions(t *testing.T) {
+	c := buildCorpus(t)
+	ff := Fork(c, "Mips", "RISCV")
+	if len(ff.Functions) != len(c.Backends["Mips"].Funcs) {
+		t.Errorf("forked %d functions, donor has %d",
+			len(ff.Functions), len(c.Backends["Mips"].Funcs))
+	}
+	for _, f := range ff.Functions {
+		if len(f.Statements) == 0 {
+			t.Errorf("%s: empty fork", f.Name)
+		}
+		if f.Target != "RISCV" {
+			t.Errorf("%s: target %q", f.Name, f.Target)
+		}
+	}
+}
+
+func TestForkRenamesNamespaces(t *testing.T) {
+	c := buildCorpus(t)
+	ff := Fork(c, "Mips", "RISCV")
+	reloc := ff.Function("getRelocType")
+	if reloc == nil {
+		t.Fatal("getRelocType missing")
+	}
+	text := reloc.Render()
+	if strings.Contains(text, "Mips::") || strings.Contains(text, "MIPS") {
+		t.Errorf("donor namespace survived the rename:\n%s", text)
+	}
+	if !strings.Contains(text, "RISCV::") {
+		t.Errorf("target namespace missing:\n%s", text)
+	}
+	// The mechanically renamed fixup names do NOT match RISC-V's actual
+	// enum (fixup_RISCV_HI16 vs fixup_riscv_hi20) — the reason the
+	// baseline fails pass@1.
+	if !strings.Contains(text, "fixup_RISCV_") {
+		t.Errorf("expected mechanically renamed fixups:\n%s", text)
+	}
+}
+
+func TestForkRenamesStrings(t *testing.T) {
+	c := buildCorpus(t)
+	ff := Fork(c, "Mips", "RISCV")
+	cpu := ff.Function("isValidCPU")
+	if cpu == nil {
+		t.Fatal("isValidCPU missing")
+	}
+	text := cpu.Render()
+	if strings.Contains(text, "mips32r2") {
+		t.Errorf("string literal not renamed:\n%s", text)
+	}
+}
+
+func TestForkedFunctionsParse(t *testing.T) {
+	c := buildCorpus(t)
+	for _, tgt := range []string{"RISCV", "RI5CY", "XCore"} {
+		ff := Fork(c, DefaultDonor, tgt)
+		for _, f := range ff.Functions {
+			if _, err := f.Parse(); err != nil {
+				t.Errorf("%s/%s does not parse: %v", tgt, f.Name, err)
+			}
+		}
+	}
+}
+
+func TestForkAllStatementsAsserted(t *testing.T) {
+	c := buildCorpus(t)
+	ff := Fork(c, DefaultDonor, "XCore")
+	for _, f := range ff.Functions {
+		for _, s := range f.Statements {
+			if s.Score != 1.0 {
+				t.Fatalf("%s: fork-flow must assert full confidence", f.Name)
+			}
+		}
+	}
+}

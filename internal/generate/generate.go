@@ -1,0 +1,154 @@
+// Package generate defines the artifacts of VEGA's Stage 3 — the
+// target-specific functions and whole backends synthesized for a new
+// target — together with their confidence annotations and rendering.
+package generate
+
+import (
+	"fmt"
+	"strings"
+
+	"vega/internal/confidence"
+	"vega/internal/cpp"
+)
+
+// Statement is one generated statement with its confidence scores.
+type Statement struct {
+	Row     int     // template row index
+	Text    string  // generated text ("" when predicted absent)
+	Absent  bool    // model predicted the statement does not exist
+	Score   float64 // model-emitted confidence (the paper's annotation)
+	Formula float64 // Eq. (1) score computed from the feature vector
+}
+
+// Kept reports whether the statement survives the confidence filter.
+func (s Statement) Kept() bool {
+	return !s.Absent && s.Text != "" && confidence.Likely(s.Score)
+}
+
+// Function is one generated target-specific function.
+type Function struct {
+	Name       string // interface function name
+	Module     string
+	Target     string
+	Statements []Statement
+}
+
+// Confidence returns the function-level score: the first statement's
+// (the function definition line).
+func (f *Function) Confidence() float64 {
+	if len(f.Statements) == 0 {
+		return 0
+	}
+	return f.Statements[0].Score
+}
+
+// Generated reports whether VEGA emitted the function at all (its
+// definition line exists and clears the threshold).
+func (f *Function) Generated() bool {
+	return len(f.Statements) > 0 && f.Statements[0].Kept()
+}
+
+// Render joins the surviving statements into source text, repairing brace
+// balance: when the confidence filter drops a block header, its orphaned
+// closer is dropped too, and unclosed blocks are closed at the end — the
+// structural half of the paper's "remove sub-threshold statements" step.
+func (f *Function) Render() string {
+	var b strings.Builder
+	depth := 0
+	debt := 0 // dropped block headers whose closers must be dropped too
+	for _, s := range f.Statements {
+		opens := strings.Count(s.Text, "{")
+		closes := strings.Count(s.Text, "}")
+		if !s.Kept() {
+			if opens > closes {
+				debt += opens - closes
+			}
+			continue
+		}
+		if debt > 0 && strings.HasPrefix(s.Text, "}") {
+			// This closer (or "} else {" continuation) belongs to a
+			// dropped header; an "} else {" keeps the debt alive for the
+			// else-block's own closer.
+			if closes > opens {
+				debt--
+			}
+			continue
+		}
+		if closes > opens && depth+opens-closes < 0 {
+			continue // orphaned closer beyond function depth
+		}
+		depth += opens - closes
+		b.WriteString(s.Text)
+		b.WriteString("\n")
+	}
+	for ; depth > 0; depth-- {
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// RenderAnnotated renders every statement with its confidence score, the
+// form developers review (Fig. 4(d)).
+func (f *Function) RenderAnnotated() string {
+	var b strings.Builder
+	for _, s := range f.Statements {
+		text := s.Text
+		if s.Absent {
+			text = "<absent>"
+		}
+		fmt.Fprintf(&b, "%4.2f | %s\n", s.Score, text)
+	}
+	return b.String()
+}
+
+// Parse attempts to parse the rendered function.
+func (f *Function) Parse() (*cpp.Node, error) {
+	src := f.Render()
+	if strings.TrimSpace(src) == "" {
+		return nil, fmt.Errorf("generate: %s for %s: empty function", f.Name, f.Target)
+	}
+	return cpp.ParseFunction(src)
+}
+
+// StatementCount counts non-absent, non-brace statements (the paper's
+// statement metric).
+func (f *Function) StatementCount() int {
+	n := 0
+	for _, s := range f.Statements {
+		if s.Absent || !s.Kept() {
+			continue
+		}
+		if s.Text == "}" || s.Text == "{" {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Backend is a complete generated backend for one target.
+type Backend struct {
+	Target    string
+	Functions []*Function
+	// Seconds records per-module generation time for Fig. 7.
+	Seconds map[string]float64
+}
+
+// ByModule groups the functions per module in stable order.
+func (b *Backend) ByModule() map[string][]*Function {
+	out := make(map[string][]*Function)
+	for _, f := range b.Functions {
+		out[f.Module] = append(out[f.Module], f)
+	}
+	return out
+}
+
+// Function looks up a generated function by interface name.
+func (b *Backend) Function(name string) *Function {
+	for _, f := range b.Functions {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}

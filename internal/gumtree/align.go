@@ -1,0 +1,168 @@
+package gumtree
+
+import "vega/internal/cpp"
+
+// IndexPair links positions of two sequences.
+type IndexPair struct {
+	A, B int
+}
+
+// TokenLCS returns the index pairs of a longest common subsequence of two
+// token sequences.
+func TokenLCS(a, b []string) []IndexPair {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	dp := make([][]int16, n+1)
+	for i := range dp {
+		dp[i] = make([]int16, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	var out []IndexPair
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, IndexPair{A: i, B: j})
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Similarity is the dice coefficient of two token sequences based on LCS
+// length: 2·|LCS| / (|a|+|b|). Returns 1 for two empty sequences.
+func Similarity(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	lcs := len(TokenLCS(a, b))
+	return 2 * float64(lcs) / float64(len(a)+len(b))
+}
+
+// AlignPair pairs statement indexes of two sequences; -1 marks a gap
+// (statement present on one side only).
+type AlignPair struct {
+	A, B int
+}
+
+// AlignOptions tunes statement alignment.
+type AlignOptions struct {
+	// MinSim is the minimum token similarity for two statements to align
+	// as a match rather than as an insertion/deletion pair.
+	MinSim float64
+}
+
+// DefaultAlignOptions mirror the thresholds used throughout VEGA.
+func DefaultAlignOptions() AlignOptions { return AlignOptions{MinSim: 0.4} }
+
+// AlignStatements aligns two statement sequences by token similarity using
+// Needleman–Wunsch-style dynamic programming: matches score their
+// similarity, gaps score zero, and only pairs above MinSim may match.
+// The result covers every index of both sequences exactly once.
+func AlignStatements(a, b []cpp.Statement, opt AlignOptions) []AlignPair {
+	ta := make([][]string, len(a))
+	for i, s := range a {
+		ta[i] = statementTokens(s)
+	}
+	tb := make([][]string, len(b))
+	for i, s := range b {
+		tb[i] = statementTokens(s)
+	}
+	return alignTokenized(ta, tb, opt)
+}
+
+// AlignTokenized aligns pre-tokenized statement lines.
+func AlignTokenized(a, b [][]string, opt AlignOptions) []AlignPair {
+	return alignTokenized(a, b, opt)
+}
+
+func alignTokenized(ta, tb [][]string, opt AlignOptions) []AlignPair {
+	return AlignFunc(len(ta), len(tb), func(i, j int) float64 {
+		return Similarity(ta[i], tb[j])
+	}, opt.MinSim)
+}
+
+// AlignFunc aligns two abstract sequences of lengths n and m under an
+// arbitrary pairwise similarity function; pairs below minSim never match.
+// Every index of both sequences appears exactly once, in order.
+func AlignFunc(n, m int, sim func(i, j int) float64, minSim float64) []AlignPair {
+	score := make([][]float64, n+1)
+	for i := range score {
+		score[i] = make([]float64, m+1)
+	}
+	simv := make([][]float64, n)
+	for i := range simv {
+		simv[i] = make([]float64, m)
+		for j := range simv[i] {
+			simv[i][j] = sim(i, j)
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			best := score[i+1][j] // gap in b
+			if s := score[i][j+1]; s > best {
+				best = s // gap in a
+			}
+			if s := simv[i][j]; s >= minSim {
+				if v := s + score[i+1][j+1]; v > best {
+					best = v
+				}
+			}
+			score[i][j] = best
+		}
+	}
+	var out []AlignPair
+	i, j := 0, 0
+	for i < n && j < m {
+		s := simv[i][j]
+		switch {
+		case s >= minSim && score[i][j] == s+score[i+1][j+1]:
+			out = append(out, AlignPair{A: i, B: j})
+			i++
+			j++
+		case score[i][j] == score[i+1][j]:
+			out = append(out, AlignPair{A: i, B: -1})
+			i++
+		default:
+			out = append(out, AlignPair{A: -1, B: j})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		out = append(out, AlignPair{A: i, B: -1})
+	}
+	for ; j < m; j++ {
+		out = append(out, AlignPair{A: -1, B: j})
+	}
+	return out
+}
+
+// statementTokens lexes a statement's text; unlexable text degrades to a
+// single opaque token so alignment still proceeds.
+func statementTokens(s cpp.Statement) []string {
+	toks, err := cpp.Lex(s.Text)
+	if err != nil {
+		return []string{s.Text}
+	}
+	return cpp.TokenTexts(toks)
+}
+
+// StatementTokens exposes statement tokenization for other packages.
+func StatementTokens(s cpp.Statement) []string { return statementTokens(s) }

@@ -1,0 +1,274 @@
+// Package gumtree implements the fine-grained AST differencing VEGA uses
+// to align statements across target-specific implementations of the same
+// interface function, following Falleri et al.'s GumTree algorithm: a
+// greedy top-down phase matching isomorphic subtrees, then a bottom-up
+// phase matching containers whose descendants largely agree.
+//
+// It also provides the token-sequence primitives (longest common
+// subsequence, dice similarity, sequence alignment) that templatization
+// builds on.
+package gumtree
+
+import (
+	"sort"
+
+	"vega/internal/cpp"
+)
+
+// Mapping links a node of the source tree to a node of the destination.
+type Mapping struct {
+	Src *cpp.Node
+	Dst *cpp.Node
+}
+
+// Matcher holds the tuning parameters of the GumTree algorithm.
+type Matcher struct {
+	// MinHeight is the minimum subtree height considered in the top-down
+	// phase (GumTree's default is 2).
+	MinHeight int
+	// SimThreshold is the minimum dice coefficient for bottom-up container
+	// matching (GumTree's default is 0.5).
+	SimThreshold float64
+}
+
+// NewMatcher returns a matcher with the paper-default parameters.
+func NewMatcher() *Matcher {
+	return &Matcher{MinHeight: 2, SimThreshold: 0.5}
+}
+
+// Match computes a node mapping between two ASTs.
+func (m *Matcher) Match(src, dst *cpp.Node) []Mapping {
+	state := &matchState{
+		srcToDst: make(map[*cpp.Node]*cpp.Node),
+		dstToSrc: make(map[*cpp.Node]*cpp.Node),
+		parents:  make(map[*cpp.Node]*cpp.Node),
+	}
+	recordParents(src, nil, state.parents)
+	recordParents(dst, nil, state.parents)
+	m.topDown(src, dst, state)
+	m.bottomUp(src, dst, state)
+	// GumTree convention: the roots always map to each other; recovery
+	// then matches their descendants pairwise where labels agree, which
+	// rescues heavily value-divergent but structurally parallel trees.
+	if !state.mapped(src, dst) {
+		state.add(src, dst)
+	}
+	recoverChildren(src, dst, state)
+
+	mappings := make([]Mapping, 0, len(state.srcToDst))
+	collectInOrder(src, state, &mappings)
+	return mappings
+}
+
+// Match is a convenience using default parameters.
+func Match(src, dst *cpp.Node) []Mapping { return NewMatcher().Match(src, dst) }
+
+type matchState struct {
+	srcToDst map[*cpp.Node]*cpp.Node
+	dstToSrc map[*cpp.Node]*cpp.Node
+	parents  map[*cpp.Node]*cpp.Node
+}
+
+func (s *matchState) mapped(src, dst *cpp.Node) bool {
+	_, a := s.srcToDst[src]
+	_, b := s.dstToSrc[dst]
+	return a || b
+}
+
+func (s *matchState) add(src, dst *cpp.Node) {
+	s.srcToDst[src] = dst
+	s.dstToSrc[dst] = src
+}
+
+func recordParents(n, parent *cpp.Node, parents map[*cpp.Node]*cpp.Node) {
+	if n == nil {
+		return
+	}
+	parents[n] = parent
+	for _, c := range n.Children {
+		recordParents(c, n, parents)
+	}
+}
+
+func collectInOrder(src *cpp.Node, s *matchState, out *[]Mapping) {
+	src.Walk(func(n *cpp.Node) bool {
+		if d, ok := s.srcToDst[n]; ok {
+			*out = append(*out, Mapping{Src: n, Dst: d})
+		}
+		return true
+	})
+}
+
+// --- top-down phase ---
+
+// topDown greedily matches isomorphic subtrees from tallest to shortest.
+func (m *Matcher) topDown(src, dst *cpp.Node, s *matchState) {
+	srcByHash := subtreeIndex(src, m.MinHeight)
+	dstByHash := subtreeIndex(dst, m.MinHeight)
+
+	// Heights present in both, tallest first.
+	heightSet := map[int]bool{}
+	for h := range srcByHash {
+		if _, ok := dstByHash[h]; ok {
+			heightSet[h] = true
+		}
+	}
+	heights := make([]int, 0, len(heightSet))
+	for h := range heightSet {
+		heights = append(heights, h)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(heights)))
+
+	for _, h := range heights {
+		for hash, srcNodes := range srcByHash[h] {
+			dstNodes := dstByHash[h][hash]
+			if len(dstNodes) == 0 {
+				continue
+			}
+			// Unique-unique pairs match directly; ambiguous ones match
+			// greedily in order, which is GumTree's practical fallback.
+			k := 0
+			for _, sn := range srcNodes {
+				if _, ok := s.srcToDst[sn]; ok {
+					continue
+				}
+				for k < len(dstNodes) {
+					dn := dstNodes[k]
+					k++
+					if _, ok := s.dstToSrc[dn]; ok {
+						continue
+					}
+					matchSubtrees(sn, dn, s)
+					break
+				}
+			}
+		}
+	}
+}
+
+// subtreeIndex buckets subtrees by height then structural hash.
+func subtreeIndex(root *cpp.Node, minHeight int) map[int]map[uint64][]*cpp.Node {
+	idx := make(map[int]map[uint64][]*cpp.Node)
+	root.Walk(func(n *cpp.Node) bool {
+		h := n.Height()
+		if h < minHeight {
+			return true
+		}
+		byHash, ok := idx[h]
+		if !ok {
+			byHash = make(map[uint64][]*cpp.Node)
+			idx[h] = byHash
+		}
+		hash := n.Hash()
+		byHash[hash] = append(byHash[hash], n)
+		return true
+	})
+	return idx
+}
+
+// matchSubtrees records mappings for every node pair of two isomorphic
+// subtrees.
+func matchSubtrees(a, b *cpp.Node, s *matchState) {
+	if s.mapped(a, b) {
+		return
+	}
+	s.add(a, b)
+	for i := range a.Children {
+		matchSubtrees(a.Children[i], b.Children[i], s)
+	}
+}
+
+// --- bottom-up phase ---
+
+func (m *Matcher) bottomUp(src, dst *cpp.Node, s *matchState) {
+	// Post-order over src: containers whose children contain matches are
+	// candidates.
+	for _, n := range src.PostOrder(nil) {
+		if _, ok := s.srcToDst[n]; ok || n.IsLeaf() {
+			continue
+		}
+		cand := m.candidate(n, s)
+		if cand == nil {
+			continue
+		}
+		if dice(n, cand, s) >= m.SimThreshold {
+			s.add(n, cand)
+			// Opportunistic recovery: match unmatched children with equal
+			// labels pairwise in order.
+			recoverChildren(n, cand, s)
+		}
+	}
+}
+
+// candidate finds the dst node whose matched descendants overlap n's the
+// most, among dst nodes with the same label.
+func (m *Matcher) candidate(n *cpp.Node, s *matchState) *cpp.Node {
+	counts := make(map[*cpp.Node]int)
+	n.Walk(func(d *cpp.Node) bool {
+		if dd, ok := s.srcToDst[d]; ok {
+			// climb dst ancestors with same label as n
+			for p := s.parents[dd]; p != nil; p = s.parents[p] {
+				if p.Label() == n.Label() {
+					if _, taken := s.dstToSrc[p]; !taken {
+						counts[p]++
+					}
+				}
+			}
+		}
+		return true
+	})
+	var best *cpp.Node
+	bestCount := 0
+	for c, k := range counts {
+		if k > bestCount {
+			best, bestCount = c, k
+		}
+	}
+	return best
+}
+
+// dice computes the dice coefficient over matched descendants.
+func dice(a, b *cpp.Node, s *matchState) float64 {
+	common := 0
+	a.Walk(func(d *cpp.Node) bool {
+		if dd, ok := s.srcToDst[d]; ok && isDescendant(dd, b, s.parents) {
+			common++
+		}
+		return true
+	})
+	da, db := a.Size()-1, b.Size()-1
+	if da+db == 0 {
+		return 0
+	}
+	return 2 * float64(common) / float64(da+db)
+}
+
+func isDescendant(n, ancestor *cpp.Node, parents map[*cpp.Node]*cpp.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if p == ancestor {
+			return true
+		}
+	}
+	return false
+}
+
+func recoverChildren(a, b *cpp.Node, s *matchState) {
+	j := 0
+	for _, ca := range a.Children {
+		if _, ok := s.srcToDst[ca]; ok {
+			continue
+		}
+		for j < len(b.Children) {
+			cb := b.Children[j]
+			j++
+			if _, taken := s.dstToSrc[cb]; taken {
+				continue
+			}
+			if ca.Label() == cb.Label() {
+				s.add(ca, cb)
+				recoverChildren(ca, cb, s)
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vega/internal/cpp"
+)
+
+// Property: the interpreter agrees with Go's own integer semantics on
+// randomly generated arithmetic expressions over two variables.
+
+type arithExpr struct {
+	src  string
+	eval func(a, b int64) (int64, bool) // ok=false when the Go side divides by zero
+}
+
+func genArith(rng *rand.Rand, depth int) arithExpr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			v := int64(rng.Intn(21) - 10)
+			return arithExpr{src: fmt.Sprintf("(%d)", v), eval: func(a, b int64) (int64, bool) { return v, true }}
+		case 1:
+			return arithExpr{src: "a", eval: func(a, b int64) (int64, bool) { return a, true }}
+		default:
+			return arithExpr{src: "b", eval: func(a, b int64) (int64, bool) { return b, true }}
+		}
+	}
+	l := genArith(rng, depth-1)
+	r := genArith(rng, depth-1)
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	op := ops[rng.Intn(len(ops))]
+	return arithExpr{
+		src: fmt.Sprintf("(%s %s %s)", l.src, op, r.src),
+		eval: func(a, b int64) (int64, bool) {
+			lv, ok1 := l.eval(a, b)
+			rv, ok2 := r.eval(a, b)
+			if !ok1 || !ok2 {
+				return 0, false
+			}
+			switch op {
+			case "+":
+				return lv + rv, true
+			case "-":
+				return lv - rv, true
+			case "*":
+				return lv * rv, true
+			case "&":
+				return lv & rv, true
+			case "|":
+				return lv | rv, true
+			case "^":
+				return lv ^ rv, true
+			}
+			return 0, false
+		},
+	}
+}
+
+func TestInterpMatchesGoSemanticsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(a, b int16) bool {
+		e := genArith(rng, 3)
+		want, ok := e.eval(int64(a), int64(b))
+		if !ok {
+			return true
+		}
+		fn, err := cpp.ParseFunction(fmt.Sprintf("int f(int a, int b) { return %s; }", e.src))
+		if err != nil {
+			t.Fatalf("parse %s: %v", e.src, err)
+		}
+		got, err := Call(fn, NewEnv(), map[string]any{"a": int64(a), "b": int64(b)})
+		if err != nil {
+			t.Fatalf("eval %s: %v", e.src, err)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: comparison chains agree with Go.
+func TestInterpComparisonsProperty(t *testing.T) {
+	ops := []string{"==", "!=", "<", "<=", ">", ">="}
+	f := func(a, b int8, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		fn, err := cpp.ParseFunction(fmt.Sprintf("bool f(int a, int b) { return a %s b; }", op))
+		if err != nil {
+			return false
+		}
+		got, err := Call(fn, NewEnv(), map[string]any{"a": int64(a), "b": int64(b)})
+		if err != nil {
+			return false
+		}
+		var want bool
+		switch op {
+		case "==":
+			want = a == b
+		case "!=":
+			want = a != b
+		case "<":
+			want = a < b
+		case "<=":
+			want = a <= b
+		case ">":
+			want = a > b
+		case ">=":
+			want = a >= b
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

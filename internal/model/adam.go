@@ -1,0 +1,71 @@
+package model
+
+import "math"
+
+// Adam is the Adam optimizer with optional gradient clipping.
+type Adam struct {
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	Clip   float64 // global-norm clip; 0 disables
+	params []*Tensor
+	m, v   [][]float32
+	step   int
+}
+
+// NewAdam returns an optimizer over params with the given learning rate
+// and the usual defaults (β₁ 0.9, β₂ 0.999, ε 1e-8, clip 1.0).
+func NewAdam(params []*Tensor, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, Clip: 1.0, params: params}
+	a.m = make([][]float32, len(params))
+	a.v = make([][]float32, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float32, len(p.Data))
+		a.v[i] = make([]float32, len(p.Data))
+	}
+	return a
+}
+
+// Step applies one update from the accumulated gradients, then zeroes
+// them.
+func (a *Adam) Step() {
+	a.step++
+	if a.Clip > 0 {
+		var norm float64
+		for _, p := range a.params {
+			for _, g := range p.Grad {
+				norm += float64(g) * float64(g)
+			}
+		}
+		norm = math.Sqrt(norm)
+		if norm > a.Clip {
+			scale := float32(a.Clip / norm)
+			for _, p := range a.params {
+				for i := range p.Grad {
+					p.Grad[i] *= scale
+				}
+			}
+		}
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	lr := a.LR * math.Sqrt(bc2) / bc1
+	b1, b2 := float32(a.Beta1), float32(a.Beta2)
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad {
+			m[j] = b1*m[j] + (1-b1)*g
+			v[j] = b2*v[j] + (1-b2)*g*g
+			p.Data[j] -= float32(lr * float64(m[j]) / (math.Sqrt(float64(v[j])) + a.Eps))
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrad clears all parameter gradients without stepping.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,87 @@
+package model
+
+import (
+	"math"
+	"sort"
+)
+
+// Beam holds one decoding hypothesis.
+type Beam struct {
+	IDs  []int
+	LogP float64
+	done bool
+}
+
+// Score returns the length-normalized log probability.
+func (b Beam) Score() float64 {
+	n := len(b.IDs)
+	if n == 0 {
+		n = 1
+	}
+	return b.LogP / float64(n)
+}
+
+// BeamGenerate decodes with beam search of the given width, returning the
+// hypotheses sorted best-first. Width 1 degenerates to greedy decoding.
+func (t *Transformer) BeamGenerate(input []int, maxLen, width int) []Beam {
+	if width < 1 {
+		width = 1
+	}
+	tp := NewTape()
+	mem := t.Encode(tp, input)
+
+	beams := []Beam{{}}
+	for step := 0; step < maxLen; step++ {
+		var next []Beam
+		expanded := false
+		for _, b := range beams {
+			if b.done {
+				next = append(next, b)
+				continue
+			}
+			expanded = true
+			prefix := append([]int{BOS}, b.IDs...)
+			tp2 := NewTape()
+			states := t.decodeStates(tp2, prefix, mem)
+			logits := t.Logits(tp2, tp2.SliceRows(states, states.R-1, states.R))
+			row := logits.Row(0)
+			for _, id := range TopK(row, width) {
+				lp := logProb(row, id)
+				nb := Beam{
+					IDs:  append(append([]int{}, b.IDs...), id),
+					LogP: b.LogP + lp,
+				}
+				if id == EOS {
+					nb.IDs = nb.IDs[:len(nb.IDs)-1]
+					nb.done = true
+				}
+				next = append(next, nb)
+			}
+		}
+		if !expanded {
+			break
+		}
+		sort.SliceStable(next, func(i, j int) bool { return next[i].Score() > next[j].Score() })
+		if len(next) > width {
+			next = next[:width]
+		}
+		beams = next
+	}
+	sort.SliceStable(beams, func(i, j int) bool { return beams[i].Score() > beams[j].Score() })
+	return beams
+}
+
+// Perplexity computes exp(mean cross entropy) of the model over samples,
+// a convergence diagnostic.
+func Perplexity(m Seq2Seq, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var total float64
+	for _, s := range samples {
+		tp := NewTape()
+		loss := m.Loss(tp, s.Input, s.Output)
+		total += float64(loss.Data[0])
+	}
+	return math.Exp(total / float64(len(samples)))
+}

@@ -1,0 +1,99 @@
+package model
+
+import "math/rand"
+
+// BERTStyle is the "vanilla BERT" baseline from the paper's model
+// ablation: an encoder-only transformer that predicts the output sequence
+// non-autoregressively — each of the first MaxOut encoder positions emits
+// one output piece. Without a decoder it cannot condition later pieces on
+// earlier ones, which is exactly why the encoder-decoder CodeBE beats it.
+type BERTStyle struct {
+	Cfg    Config
+	MaxOut int
+	Embed  *Tensor
+	PosEnc *Tensor
+	Enc    []*EncoderLayer
+	NormE  *Norm
+	Head   *Linear
+	params []*Tensor
+}
+
+// NewBERTStyle allocates the baseline; maxOut caps the predicted length.
+func NewBERTStyle(cfg Config, maxOut int) *BERTStyle {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &BERTStyle{Cfg: cfg, MaxOut: maxOut}
+	m.Embed = NewParam(cfg.Vocab, cfg.Dim, rng)
+	m.PosEnc = NewParam(cfg.MaxSeq, cfg.Dim, rng)
+	for i := 0; i < cfg.EncLayers; i++ {
+		m.Enc = append(m.Enc, NewEncoderLayer(cfg.Dim, cfg.Heads, cfg.FFMult, rng))
+	}
+	m.NormE = NewNorm(cfg.Dim)
+	m.Head = NewLinear(cfg.Dim, cfg.Vocab, rng)
+	m.params = []*Tensor{m.Embed, m.PosEnc}
+	for _, l := range m.Enc {
+		m.params = append(m.params, l.Params()...)
+	}
+	m.params = append(m.params, m.NormE.Params()...)
+	m.params = append(m.params, m.Head.Params()...)
+	return m
+}
+
+// Params returns all trainable tensors.
+func (m *BERTStyle) Params() []*Tensor { return m.params }
+
+func (m *BERTStyle) states(tp *Tape, input []int) *Tensor {
+	// Reserve MaxOut mask positions at the front; the input follows.
+	ids := make([]int, 0, m.MaxOut+len(input))
+	for i := 0; i < m.MaxOut; i++ {
+		ids = append(ids, PAD)
+	}
+	ids = append(ids, input...)
+	if len(ids) > m.Cfg.MaxSeq {
+		ids = ids[:m.Cfg.MaxSeq]
+	}
+	x := tp.Rows(m.Embed, ids)
+	pos := make([]int, len(ids))
+	for i := range pos {
+		pos[i] = i
+	}
+	x = tp.Add(x, tp.Rows(m.PosEnc, pos))
+	for _, l := range m.Enc {
+		x = l.Apply(tp, x)
+	}
+	return m.NormE.Apply(tp, x)
+}
+
+// Loss trains each front position to predict one output piece (EOS-padded).
+func (m *BERTStyle) Loss(tp *Tape, input, output []int) *Tensor {
+	st := m.states(tp, input)
+	front := tp.SliceRows(st, 0, m.MaxOut)
+	logits := m.Head.Apply(tp, front)
+	targets := make([]int, m.MaxOut)
+	for i := range targets {
+		if i < len(output) {
+			targets[i] = output[i]
+		} else {
+			targets[i] = EOS
+		}
+	}
+	return tp.CrossEntropy(logits, targets)
+}
+
+// Generate predicts all positions at once and truncates at the first EOS.
+func (m *BERTStyle) Generate(input []int, maxLen int) []int {
+	tp := NewTape()
+	st := m.states(tp, input)
+	front := tp.SliceRows(st, 0, m.MaxOut)
+	logits := m.Head.Apply(tp, front)
+	var out []int
+	for i := 0; i < m.MaxOut && i < maxLen; i++ {
+		next := argmax(logits.Row(i))
+		if next == EOS {
+			break
+		}
+		out = append(out, next)
+	}
+	return out
+}
+
+var _ Seq2Seq = (*BERTStyle)(nil)

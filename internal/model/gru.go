@@ -1,0 +1,129 @@
+package model
+
+import "math/rand"
+
+// GRUCell is a gated recurrent unit.
+type GRUCell struct {
+	WZ, UZ, WR, UR, WH, UH *Tensor
+	BZ, BR, BH             *Tensor
+}
+
+// NewGRUCell allocates a GRU cell with input and hidden width d.
+func NewGRUCell(d int, rng *rand.Rand) *GRUCell {
+	bias := func() *Tensor {
+		b := NewTensor(1, d)
+		b.requiresGrad = true
+		b.Grad = make([]float32, d)
+		return b
+	}
+	return &GRUCell{
+		WZ: NewParam(d, d, rng), UZ: NewParam(d, d, rng),
+		WR: NewParam(d, d, rng), UR: NewParam(d, d, rng),
+		WH: NewParam(d, d, rng), UH: NewParam(d, d, rng),
+		BZ: bias(), BR: bias(), BH: bias(),
+	}
+}
+
+// Step advances the cell: x and h are 1×d; returns the new hidden state.
+func (c *GRUCell) Step(tp *Tape, x, h *Tensor) *Tensor {
+	z := tp.Sigmoid(tp.Add(tp.Add(tp.MatMul(x, c.WZ), tp.MatMul(h, c.UZ)), c.BZ))
+	r := tp.Sigmoid(tp.Add(tp.Add(tp.MatMul(x, c.WR), tp.MatMul(h, c.UR)), c.BR))
+	hh := tp.Tanh(tp.Add(tp.Add(tp.MatMul(x, c.WH), tp.MatMul(tp.Mul(r, h), c.UH)), c.BH))
+	// h' = (1-z)·h + z·hh = h + z·(hh - h)
+	diff := tp.Add(hh, tp.Scale(h, -1))
+	return tp.Add(h, tp.Mul(z, diff))
+}
+
+// Params returns the trainable tensors.
+func (c *GRUCell) Params() []*Tensor {
+	return []*Tensor{c.WZ, c.UZ, c.WR, c.UR, c.WH, c.UH, c.BZ, c.BR, c.BH}
+}
+
+// GRUSeq2Seq is the RNN-based VEGA baseline from the paper's model
+// ablation: a GRU encoder compressing the feature vector into one hidden
+// state and a GRU decoder emitting pieces from it, without attention.
+type GRUSeq2Seq struct {
+	Cfg    Config
+	Embed  *Tensor
+	Enc    *GRUCell
+	Dec    *GRUCell
+	Out    *Linear
+	params []*Tensor
+}
+
+// NewGRUSeq2Seq allocates the baseline.
+func NewGRUSeq2Seq(cfg Config) *GRUSeq2Seq {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &GRUSeq2Seq{
+		Cfg:   cfg,
+		Embed: NewParam(cfg.Vocab, cfg.Dim, rng),
+		Enc:   NewGRUCell(cfg.Dim, rng),
+		Dec:   NewGRUCell(cfg.Dim, rng),
+		Out:   NewLinear(cfg.Dim, cfg.Vocab, rng),
+	}
+	m.params = []*Tensor{m.Embed}
+	m.params = append(m.params, m.Enc.Params()...)
+	m.params = append(m.params, m.Dec.Params()...)
+	m.params = append(m.params, m.Out.Params()...)
+	return m
+}
+
+// Params returns all trainable tensors.
+func (m *GRUSeq2Seq) Params() []*Tensor { return m.params }
+
+func (m *GRUSeq2Seq) encode(tp *Tape, input []int) *Tensor {
+	if len(input) > m.Cfg.MaxSeq {
+		input = input[:m.Cfg.MaxSeq]
+	}
+	h := NewTensor(1, m.Cfg.Dim)
+	for _, id := range input {
+		x := tp.Rows(m.Embed, []int{id})
+		h = m.Enc.Step(tp, x, h)
+	}
+	return h
+}
+
+// Loss computes teacher-forced cross entropy.
+func (m *GRUSeq2Seq) Loss(tp *Tape, input, output []int) *Tensor {
+	h := m.encode(tp, input)
+	prefix := append([]int{BOS}, output...)
+	if len(prefix) > m.Cfg.MaxSeq {
+		prefix = prefix[:m.Cfg.MaxSeq]
+	}
+	var logits *Tensor
+	for _, id := range prefix {
+		x := tp.Rows(m.Embed, []int{id})
+		h = m.Dec.Step(tp, x, h)
+		l := m.Out.Apply(tp, h)
+		if logits == nil {
+			logits = l
+		} else {
+			logits = tp.Concat(logits, l)
+		}
+	}
+	targets := append(append([]int{}, output...), EOS)
+	targets = targets[:logits.R]
+	return tp.CrossEntropy(logits, targets)
+}
+
+// Generate decodes greedily.
+func (m *GRUSeq2Seq) Generate(input []int, maxLen int) []int {
+	tp := NewTape()
+	h := m.encode(tp, input)
+	var out []int
+	cur := BOS
+	for len(out) < maxLen {
+		x := tp.Rows(m.Embed, []int{cur})
+		h = m.Dec.Step(tp, x, h)
+		logits := m.Out.Apply(tp, h)
+		next := argmax(logits.Row(0))
+		if next == EOS {
+			break
+		}
+		out = append(out, next)
+		cur = next
+	}
+	return out
+}
+
+var _ Seq2Seq = (*GRUSeq2Seq)(nil)

@@ -1,0 +1,664 @@
+// Package model implements the neural machinery behind CodeBE, VEGA's
+// code-generation model, entirely from scratch: a float32 matrix type with
+// tape-based reverse-mode autodiff, the transformer encoder-decoder that
+// plays the role of the fine-tuned UniXcoder, a GRU seq2seq and an
+// encoder-only "vanilla BERT"-style baseline for the paper's model
+// ablation, a subword tokenizer, and the Adam optimizer.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float32 matrix participating in automatic
+// differentiation. Vectors are 1×C or R×1 matrices.
+type Tensor struct {
+	R, C int
+	Data []float32
+	Grad []float32
+
+	requiresGrad bool
+	back         func()
+	parents      []*Tensor
+	owner        *Tape // tape that created this tensor; nil for leaves
+}
+
+// NewTensor allocates a zero matrix.
+func NewTensor(r, c int) *Tensor {
+	return &Tensor{R: r, C: c, Data: make([]float32, r*c)}
+}
+
+// NewParam allocates a trainable matrix initialized with scaled Gaussian
+// noise (std = 1/sqrt(c)).
+func NewParam(r, c int, rng *rand.Rand) *Tensor {
+	t := NewTensor(r, c)
+	std := 1 / math.Sqrt(float64(c))
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * std)
+	}
+	t.requiresGrad = true
+	t.Grad = make([]float32, r*c)
+	return t
+}
+
+// FromSlice wraps data (copied) into an r×c tensor.
+func FromSlice(r, c int, data []float32) *Tensor {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("model: FromSlice %dx%d with %d values", r, c, len(data)))
+	}
+	t := NewTensor(r, c)
+	copy(t.Data, data)
+	return t
+}
+
+// At returns the element at row i, column j.
+func (t *Tensor) At(i, j int) float32 { return t.Data[i*t.C+j] }
+
+// Set assigns the element at row i, column j.
+func (t *Tensor) Set(i, j int, v float32) { t.Data[i*t.C+j] = v }
+
+// Row returns a view of row i's data.
+func (t *Tensor) Row(i int) []float32 { return t.Data[i*t.C : (i+1)*t.C] }
+
+// ZeroGrad clears the gradient buffer.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// Tape records the computation graph for one forward pass so Backward can
+// replay it in reverse. Tapes are single-goroutine, but several tapes can
+// run concurrently over the same parameters: gradients for leaf parameters
+// accumulate into tape-local shadow buffers, merged into the parameters
+// with MergeGrads (under the caller's lock).
+type Tape struct {
+	nodes  []*Tensor
+	shadow map[*Tensor][]float32
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{shadow: make(map[*Tensor][]float32)} }
+
+func (tp *Tape) record(t *Tensor, back func(), parents ...*Tensor) *Tensor {
+	t.back = back
+	t.parents = parents
+	t.owner = tp
+	for _, p := range parents {
+		if p.requiresGrad {
+			t.requiresGrad = true
+		}
+	}
+	if t.requiresGrad && t.Grad == nil {
+		t.Grad = make([]float32, len(t.Data))
+	}
+	tp.nodes = append(tp.nodes, t)
+	return t
+}
+
+// g returns the gradient buffer to accumulate into for t: the tensor's own
+// buffer when the tape created it, a tape-local shadow for shared leaves.
+func (tp *Tape) g(t *Tensor) []float32 {
+	if t.owner == tp {
+		return t.Grad
+	}
+	if buf, ok := tp.shadow[t]; ok {
+		return buf
+	}
+	buf := make([]float32, len(t.Data))
+	tp.shadow[t] = buf
+	return buf
+}
+
+// Backward back-propagates from loss (a 1×1 tensor) through the tape.
+// Leaf-parameter gradients land in shadow buffers; call MergeGrads to
+// flush them into the parameters.
+func (tp *Tape) Backward(loss *Tensor) {
+	if len(loss.Data) != 1 {
+		panic("model: Backward expects a scalar loss")
+	}
+	if loss.Grad == nil {
+		loss.Grad = make([]float32, 1)
+	}
+	loss.Grad[0] = 1
+	for i := len(tp.nodes) - 1; i >= 0; i-- {
+		n := tp.nodes[i]
+		if n.back != nil && n.requiresGrad {
+			n.back()
+		}
+	}
+}
+
+// MergeGrads adds the tape's shadow gradients into their parameters.
+// Callers running tapes concurrently must serialize MergeGrads.
+func (tp *Tape) MergeGrads() {
+	for p, buf := range tp.shadow {
+		for i := range buf {
+			p.Grad[i] += buf[i]
+		}
+	}
+}
+
+// --- primitive ops ---
+
+// MatMul multiplies a (r×k) by b (k×c).
+func (tp *Tape) MatMul(a, b *Tensor) *Tensor {
+	if a.C != b.R {
+		panic(fmt.Sprintf("model: MatMul %dx%d · %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := NewTensor(a.R, b.C)
+	matmul(out.Data, a.Data, b.Data, a.R, a.C, b.C)
+	return tp.record(out, func() {
+		// dA = dOut · Bᵀ ; dB = Aᵀ · dOut
+		if a.requiresGrad {
+			matmulNT(tp.g(a), out.Grad, b.Data, a.R, b.C, a.C)
+		}
+		if b.requiresGrad {
+			matmulTN(tp.g(b), a.Data, out.Grad, a.C, a.R, b.C)
+		}
+	}, a, b)
+}
+
+// matmul computes out += a·b with a r×k, b k×c (out assumed zeroed).
+func matmul(out, a, b []float32, r, k, c int) {
+	for i := 0; i < r; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*c : (i+1)*c]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*c : (p+1)*c]
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// matmulNT computes dst += a·bᵀ with a r×k, b c×k, dst r×c.
+func matmulNT(dst, a, b []float32, r, k, c int) {
+	for i := 0; i < r; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float32
+			for p := range arow {
+				s += arow[p] * brow[p]
+			}
+			drow[j] += s
+		}
+	}
+}
+
+// matmulTN computes dst += aᵀ·b with a r2×r, b r2×c, dst r×c.
+func matmulTN(dst, a, b []float32, r, r2, c int) {
+	for p := 0; p < r2; p++ {
+		arow := a[p*r : (p+1)*r]
+		brow := b[p*c : (p+1)*c]
+		for i := 0; i < r; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			drow := dst[i*c : (i+1)*c]
+			for j := range brow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// Add returns a + b (same shape), or a + row-broadcast b (b is 1×C).
+func (tp *Tape) Add(a, b *Tensor) *Tensor {
+	out := NewTensor(a.R, a.C)
+	switch {
+	case b.R == a.R && b.C == a.C:
+		for i := range out.Data {
+			out.Data[i] = a.Data[i] + b.Data[i]
+		}
+		return tp.record(out, func() {
+			if a.requiresGrad {
+				axpy(tp.g(a), out.Grad, 1)
+			}
+			if b.requiresGrad {
+				axpy(tp.g(b), out.Grad, 1)
+			}
+		}, a, b)
+	case b.R == 1 && b.C == a.C:
+		for i := 0; i < a.R; i++ {
+			arow, orow := a.Row(i), out.Row(i)
+			for j := range orow {
+				orow[j] = arow[j] + b.Data[j]
+			}
+		}
+		return tp.record(out, func() {
+			if a.requiresGrad {
+				axpy(tp.g(a), out.Grad, 1)
+			}
+			if b.requiresGrad {
+				bg := tp.g(b)
+				for i := 0; i < a.R; i++ {
+					orow := out.Grad[i*a.C : (i+1)*a.C]
+					for j := range orow {
+						bg[j] += orow[j]
+					}
+				}
+			}
+		}, a, b)
+	default:
+		panic(fmt.Sprintf("model: Add shape mismatch %dx%d + %dx%d", a.R, a.C, b.R, b.C))
+	}
+}
+
+func axpy(dst, src []float32, alpha float32) {
+	for i := range dst {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// Scale returns a·s.
+func (tp *Tape) Scale(a *Tensor, s float32) *Tensor {
+	out := NewTensor(a.R, a.C)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	return tp.record(out, func() {
+		if a.requiresGrad {
+			axpy(tp.g(a), out.Grad, s)
+		}
+	}, a)
+}
+
+// Mul returns the elementwise product.
+func (tp *Tape) Mul(a, b *Tensor) *Tensor {
+	if a.R != b.R || a.C != b.C {
+		panic("model: Mul shape mismatch")
+	}
+	out := NewTensor(a.R, a.C)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return tp.record(out, func() {
+		if a.requiresGrad {
+			ag := tp.g(a)
+			for i := range ag {
+				ag[i] += out.Grad[i] * b.Data[i]
+			}
+		}
+		if b.requiresGrad {
+			bg := tp.g(b)
+			for i := range bg {
+				bg[i] += out.Grad[i] * a.Data[i]
+			}
+		}
+	}, a, b)
+}
+
+// ReLU applies max(0, x).
+func (tp *Tape) ReLU(a *Tensor) *Tensor {
+	out := NewTensor(a.R, a.C)
+	for i, v := range a.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return tp.record(out, func() {
+		if a.requiresGrad {
+			ag := tp.g(a)
+			for i := range ag {
+				if a.Data[i] > 0 {
+					ag[i] += out.Grad[i]
+				}
+			}
+		}
+	}, a)
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit.
+func (tp *Tape) GELU(a *Tensor) *Tensor {
+	out := NewTensor(a.R, a.C)
+	const c0 = 0.7978845608028654 // sqrt(2/pi)
+	for i, v := range a.Data {
+		x := float64(v)
+		out.Data[i] = float32(0.5 * x * (1 + math.Tanh(c0*(x+0.044715*x*x*x))))
+	}
+	return tp.record(out, func() {
+		if !a.requiresGrad {
+			return
+		}
+		ag := tp.g(a)
+		for i := range ag {
+			x := float64(a.Data[i])
+			t := math.Tanh(c0 * (x + 0.044715*x*x*x))
+			d := 0.5*(1+t) + 0.5*x*(1-t*t)*c0*(1+3*0.044715*x*x)
+			ag[i] += out.Grad[i] * float32(d)
+		}
+	}, a)
+}
+
+// Sigmoid applies 1/(1+e^-x).
+func (tp *Tape) Sigmoid(a *Tensor) *Tensor {
+	out := NewTensor(a.R, a.C)
+	for i, v := range a.Data {
+		out.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return tp.record(out, func() {
+		if a.requiresGrad {
+			ag := tp.g(a)
+			for i := range ag {
+				y := out.Data[i]
+				ag[i] += out.Grad[i] * y * (1 - y)
+			}
+		}
+	}, a)
+}
+
+// Tanh applies the hyperbolic tangent.
+func (tp *Tape) Tanh(a *Tensor) *Tensor {
+	out := NewTensor(a.R, a.C)
+	for i, v := range a.Data {
+		out.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	return tp.record(out, func() {
+		if a.requiresGrad {
+			ag := tp.g(a)
+			for i := range ag {
+				y := out.Data[i]
+				ag[i] += out.Grad[i] * (1 - y*y)
+			}
+		}
+	}, a)
+}
+
+// Softmax applies a row-wise softmax with optional additive mask (same
+// shape, typically 0 / -inf values) applied before normalization.
+func (tp *Tape) Softmax(a *Tensor, mask []float32) *Tensor {
+	out := NewTensor(a.R, a.C)
+	for i := 0; i < a.R; i++ {
+		arow, orow := a.Row(i), out.Row(i)
+		maxv := float32(math.Inf(-1))
+		for j, v := range arow {
+			if mask != nil {
+				v += mask[i*a.C+j]
+			}
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float32
+		for j, v := range arow {
+			if mask != nil {
+				v += mask[i*a.C+j]
+			}
+			e := float32(math.Exp(float64(v - maxv)))
+			orow[j] = e
+			sum += e
+		}
+		if sum > 0 {
+			inv := 1 / sum
+			for j := range orow {
+				orow[j] *= inv
+			}
+		}
+	}
+	return tp.record(out, func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i := 0; i < a.R; i++ {
+			orow := out.Row(i)
+			grow := out.Grad[i*a.C : (i+1)*a.C]
+			var dot float32
+			for j := range orow {
+				dot += orow[j] * grow[j]
+			}
+			agrow := tp.g(a)[i*a.C : (i+1)*a.C]
+			for j := range orow {
+				agrow[j] += orow[j] * (grow[j] - dot)
+			}
+		}
+	}, a)
+}
+
+// LayerNorm normalizes each row to zero mean / unit variance and applies
+// learned gain and bias (both 1×C).
+func (tp *Tape) LayerNorm(a, gain, bias *Tensor) *Tensor {
+	const eps = 1e-5
+	out := NewTensor(a.R, a.C)
+	means := make([]float32, a.R)
+	invstd := make([]float32, a.R)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		var mean float32
+		for _, v := range arow {
+			mean += v
+		}
+		mean /= float32(a.C)
+		var vr float32
+		for _, v := range arow {
+			d := v - mean
+			vr += d * d
+		}
+		vr /= float32(a.C)
+		is := float32(1 / math.Sqrt(float64(vr)+eps))
+		means[i], invstd[i] = mean, is
+		orow := out.Row(i)
+		for j, v := range arow {
+			orow[j] = (v-mean)*is*gain.Data[j] + bias.Data[j]
+		}
+	}
+	return tp.record(out, func() {
+		for i := 0; i < a.R; i++ {
+			arow := a.Row(i)
+			grow := out.Grad[i*a.C : (i+1)*a.C]
+			mean, is := means[i], invstd[i]
+			// xhat = (x-mean)*is
+			n := float32(a.C)
+			var sumG, sumGX float32
+			for j := range grow {
+				xhat := (arow[j] - mean) * is
+				g := grow[j] * gain.Data[j]
+				sumG += g
+				sumGX += g * xhat
+				if gain.requiresGrad {
+					tp.g(gain)[j] += grow[j] * xhat
+				}
+				if bias.requiresGrad {
+					tp.g(bias)[j] += grow[j]
+				}
+			}
+			if a.requiresGrad {
+				ag := tp.g(a)[i*a.C : (i+1)*a.C]
+				for j := range grow {
+					xhat := (arow[j] - mean) * is
+					g := grow[j] * gain.Data[j]
+					ag[j] += is * (g - sumG/n - xhat*sumGX/n)
+				}
+			}
+		}
+	}, a, gain, bias)
+}
+
+// Rows gathers the given rows of a into a new len(idx)×C tensor
+// (embedding lookup).
+func (tp *Tape) Rows(a *Tensor, idx []int) *Tensor {
+	out := NewTensor(len(idx), a.C)
+	for i, r := range idx {
+		copy(out.Row(i), a.Row(r))
+	}
+	return tp.record(out, func() {
+		if !a.requiresGrad {
+			return
+		}
+		ag := tp.g(a)
+		for i, r := range idx {
+			grow := out.Grad[i*a.C : (i+1)*a.C]
+			arow := ag[r*a.C : (r+1)*a.C]
+			for j := range grow {
+				arow[j] += grow[j]
+			}
+		}
+	}, a)
+}
+
+// Concat stacks a over b vertically (same column count).
+func (tp *Tape) Concat(a, b *Tensor) *Tensor {
+	if a.C != b.C {
+		panic("model: Concat column mismatch")
+	}
+	out := NewTensor(a.R+b.R, a.C)
+	copy(out.Data[:len(a.Data)], a.Data)
+	copy(out.Data[len(a.Data):], b.Data)
+	return tp.record(out, func() {
+		if a.requiresGrad {
+			axpy(tp.g(a), out.Grad[:len(a.Data)], 1)
+		}
+		if b.requiresGrad {
+			axpy(tp.g(b), out.Grad[len(a.Data):], 1)
+		}
+	}, a, b)
+}
+
+// HConcat stacks a and b horizontally (same row count).
+func (tp *Tape) HConcat(a, b *Tensor) *Tensor {
+	if a.R != b.R {
+		panic("model: HConcat row mismatch")
+	}
+	out := NewTensor(a.R, a.C+b.C)
+	for i := 0; i < a.R; i++ {
+		copy(out.Row(i)[:a.C], a.Row(i))
+		copy(out.Row(i)[a.C:], b.Row(i))
+	}
+	return tp.record(out, func() {
+		for i := 0; i < a.R; i++ {
+			grow := out.Grad[i*out.C : (i+1)*out.C]
+			if a.requiresGrad {
+				ag := tp.g(a)[i*a.C : (i+1)*a.C]
+				for j := range ag {
+					ag[j] += grow[j]
+				}
+			}
+			if b.requiresGrad {
+				bg := tp.g(b)[i*b.C : (i+1)*b.C]
+				for j := range bg {
+					bg[j] += grow[a.C+j]
+				}
+			}
+		}
+	}, a, b)
+}
+
+// SliceRows returns rows [lo, hi) as a view-copy.
+func (tp *Tape) SliceRows(a *Tensor, lo, hi int) *Tensor {
+	out := NewTensor(hi-lo, a.C)
+	copy(out.Data, a.Data[lo*a.C:hi*a.C])
+	return tp.record(out, func() {
+		if a.requiresGrad {
+			axpy(tp.g(a)[lo*a.C:hi*a.C], out.Grad, 1)
+		}
+	}, a)
+}
+
+// SliceCols returns columns [lo, hi) as a copy.
+func (tp *Tape) SliceCols(a *Tensor, lo, hi int) *Tensor {
+	out := NewTensor(a.R, hi-lo)
+	for i := 0; i < a.R; i++ {
+		copy(out.Row(i), a.Row(i)[lo:hi])
+	}
+	return tp.record(out, func() {
+		if !a.requiresGrad {
+			return
+		}
+		ag := tp.g(a)
+		for i := 0; i < a.R; i++ {
+			grow := out.Grad[i*out.C : (i+1)*out.C]
+			arow := ag[i*a.C+lo : i*a.C+hi]
+			for j := range grow {
+				arow[j] += grow[j]
+			}
+		}
+	}, a)
+}
+
+// Transpose returns aᵀ.
+func (tp *Tape) Transpose(a *Tensor) *Tensor {
+	out := NewTensor(a.C, a.R)
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < a.C; j++ {
+			out.Data[j*a.R+i] = a.Data[i*a.C+j]
+		}
+	}
+	return tp.record(out, func() {
+		if a.requiresGrad {
+			ag := tp.g(a)
+			for i := 0; i < a.R; i++ {
+				for j := 0; j < a.C; j++ {
+					ag[i*a.C+j] += out.Grad[j*a.R+i]
+				}
+			}
+		}
+	}, a)
+}
+
+// CrossEntropy computes the mean negative log-likelihood of targets under
+// row-wise softmax of logits, returning a scalar. Target -1 skips a row.
+func (tp *Tape) CrossEntropy(logits *Tensor, targets []int) *Tensor {
+	if len(targets) != logits.R {
+		panic("model: CrossEntropy target length mismatch")
+	}
+	probs := make([]float32, len(logits.Data))
+	out := NewTensor(1, 1)
+	count := 0
+	var loss float64
+	for i := 0; i < logits.R; i++ {
+		row := logits.Row(i)
+		maxv := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logZ := math.Log(sum) + float64(maxv)
+		for j, v := range row {
+			probs[i*logits.C+j] = float32(math.Exp(float64(v) - logZ))
+		}
+		if t := targets[i]; t >= 0 {
+			loss += logZ - float64(row[t])
+			count++
+		}
+	}
+	if count > 0 {
+		out.Data[0] = float32(loss / float64(count))
+	}
+	return tp.record(out, func() {
+		if !logits.requiresGrad || count == 0 {
+			return
+		}
+		scale := out.Grad[0] / float32(count)
+		lg := tp.g(logits)
+		for i := 0; i < logits.R; i++ {
+			t := targets[i]
+			if t < 0 {
+				continue
+			}
+			grow := lg[i*logits.C : (i+1)*logits.C]
+			prow := probs[i*logits.C : (i+1)*logits.C]
+			for j := range grow {
+				g := prow[j]
+				if j == t {
+					g -= 1
+				}
+				grow[j] += scale * g
+			}
+		}
+	}, logits)
+}

@@ -1,0 +1,379 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Config sizes a sequence-to-sequence model.
+type Config struct {
+	Vocab     int
+	Dim       int
+	Heads     int
+	EncLayers int
+	DecLayers int
+	FFMult    int
+	MaxSeq    int
+	Seed      int64
+}
+
+// DefaultConfig is the CPU-scale stand-in for UniXcoder used by the
+// benchmark harness.
+func DefaultConfig(vocab int) Config {
+	return Config{
+		Vocab: vocab, Dim: 64, Heads: 4,
+		EncLayers: 2, DecLayers: 2, FFMult: 4,
+		MaxSeq: 192, Seed: 1,
+	}
+}
+
+// Transformer is the encoder-decoder behind CodeBE.
+type Transformer struct {
+	Cfg    Config
+	Embed  *Tensor // token embeddings (tied with the output projection)
+	PosEnc *Tensor // learned positional embeddings
+	Enc    []*EncoderLayer
+	Dec    []*DecoderLayer
+	NormE  *Norm
+	NormD  *Norm
+
+	params []*Tensor
+}
+
+// NewTransformer allocates a model.
+func NewTransformer(cfg Config) *Transformer {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Transformer{Cfg: cfg}
+	t.Embed = NewParam(cfg.Vocab, cfg.Dim, rng)
+	t.PosEnc = NewParam(cfg.MaxSeq, cfg.Dim, rng)
+	for i := 0; i < cfg.EncLayers; i++ {
+		t.Enc = append(t.Enc, NewEncoderLayer(cfg.Dim, cfg.Heads, cfg.FFMult, rng))
+	}
+	for i := 0; i < cfg.DecLayers; i++ {
+		t.Dec = append(t.Dec, NewDecoderLayer(cfg.Dim, cfg.Heads, cfg.FFMult, rng))
+	}
+	t.NormE = NewNorm(cfg.Dim)
+	t.NormD = NewNorm(cfg.Dim)
+
+	t.params = []*Tensor{t.Embed, t.PosEnc}
+	for _, l := range t.Enc {
+		t.params = append(t.params, l.Params()...)
+	}
+	for _, l := range t.Dec {
+		t.params = append(t.params, l.Params()...)
+	}
+	t.params = append(t.params, t.NormE.Params()...)
+	t.params = append(t.params, t.NormD.Params()...)
+	return t
+}
+
+// Params returns all trainable tensors.
+func (t *Transformer) Params() []*Tensor { return t.params }
+
+// NumParams counts scalar parameters.
+func (t *Transformer) NumParams() int {
+	n := 0
+	for _, p := range t.params {
+		n += len(p.Data)
+	}
+	return n
+}
+
+func (t *Transformer) clampSeq(ids []int) []int {
+	if len(ids) > t.Cfg.MaxSeq {
+		return ids[:t.Cfg.MaxSeq]
+	}
+	return ids
+}
+
+// Encode runs the encoder over input piece ids and returns the memory.
+func (t *Transformer) Encode(tp *Tape, input []int) *Tensor {
+	input = t.clampSeq(input)
+	x := tp.Rows(t.Embed, input)
+	pos := make([]int, len(input))
+	for i := range pos {
+		pos[i] = i
+	}
+	x = tp.Add(x, tp.Rows(t.PosEnc, pos))
+	for _, l := range t.Enc {
+		x = l.Apply(tp, x)
+	}
+	return t.NormE.Apply(tp, x)
+}
+
+// decodeStates runs the decoder over prefix ids attending to memory.
+func (t *Transformer) decodeStates(tp *Tape, prefix []int, mem *Tensor) *Tensor {
+	prefix = t.clampSeq(prefix)
+	x := tp.Rows(t.Embed, prefix)
+	pos := make([]int, len(prefix))
+	for i := range pos {
+		pos[i] = i
+	}
+	x = tp.Add(x, tp.Rows(t.PosEnc, pos))
+	for _, l := range t.Dec {
+		x = l.Apply(tp, x, mem)
+	}
+	return t.NormD.Apply(tp, x)
+}
+
+// Logits projects decoder states onto the vocabulary with the tied
+// embedding matrix.
+func (t *Transformer) Logits(tp *Tape, states *Tensor) *Tensor {
+	return tp.MatMul(states, tp.Transpose(t.Embed))
+}
+
+// Loss computes teacher-forced cross entropy for one (input, output) pair.
+// The output must not include BOS/EOS; they are added here.
+func (t *Transformer) Loss(tp *Tape, input, output []int) *Tensor {
+	mem := t.Encode(tp, input)
+	prefix := append([]int{BOS}, output...)
+	prefix = t.clampSeq(prefix)
+	states := t.decodeStates(tp, prefix, mem)
+	logits := t.Logits(tp, states)
+	targets := append(append([]int{}, output...), EOS)
+	targets = targets[:logits.R]
+	return tp.CrossEntropy(logits, targets)
+}
+
+// Generate decodes greedily from input, up to maxLen output pieces.
+func (t *Transformer) Generate(input []int, maxLen int) []int {
+	tp := NewTape()
+	mem := t.Encode(tp, input)
+	prefix := []int{BOS}
+	var out []int
+	for len(out) < maxLen && len(prefix) < t.Cfg.MaxSeq {
+		tp2 := NewTape()
+		states := tp2.decodeOnce(t, prefix, mem)
+		logits := t.Logits(tp2, tp2.SliceRows(states, states.R-1, states.R))
+		next := argmax(logits.Row(0))
+		if next == EOS {
+			break
+		}
+		out = append(out, next)
+		prefix = append(prefix, next)
+	}
+	return out
+}
+
+// decodeOnce is a helper so generation reuses the already-computed memory
+// without re-recording encoder ops.
+func (tp *Tape) decodeOnce(t *Transformer, prefix []int, mem *Tensor) *Tensor {
+	return t.decodeStates(tp, prefix, mem)
+}
+
+// GenerateScored decodes greedily and also returns the mean log
+// probability of the emitted pieces (a sequence-level model confidence).
+func (t *Transformer) GenerateScored(input []int, maxLen int) ([]int, float64) {
+	tp := NewTape()
+	mem := t.Encode(tp, input)
+	prefix := []int{BOS}
+	var out []int
+	var logp float64
+	for len(out) < maxLen && len(prefix) < t.Cfg.MaxSeq {
+		tp2 := NewTape()
+		states := t.decodeStates(tp2, prefix, mem)
+		logits := t.Logits(tp2, tp2.SliceRows(states, states.R-1, states.R))
+		row := logits.Row(0)
+		next := argmax(row)
+		logp += logProb(row, next)
+		if next == EOS {
+			break
+		}
+		out = append(out, next)
+		prefix = append(prefix, next)
+	}
+	n := len(out) + 1
+	return out, logp / float64(n)
+}
+
+func argmax(xs []float32) int {
+	best, bi := float32(math.Inf(-1)), 0
+	for i, v := range xs {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+func logProb(logits []float32, idx int) float64 {
+	maxv := float32(math.Inf(-1))
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range logits {
+		sum += math.Exp(float64(v - maxv))
+	}
+	return float64(logits[idx]-maxv) - math.Log(sum)
+}
+
+// Sample is one training example.
+type Sample struct {
+	Input  []int
+	Output []int
+}
+
+// Seq2Seq is the interface shared by the transformer and the ablation
+// baselines, which is all the trainer and the generator need.
+type Seq2Seq interface {
+	Params() []*Tensor
+	Loss(tp *Tape, input, output []int) *Tensor
+	Generate(input []int, maxLen int) []int
+}
+
+var _ Seq2Seq = (*Transformer)(nil)
+
+// TrainOptions tune Fit.
+type TrainOptions struct {
+	Epochs  int
+	Batch   int
+	LR      float64
+	Seed    int64
+	Workers int // parallel samples per batch; 0 = NumCPU
+	Verbose func(epoch int, loss float64)
+	MinLoss float64 // early stop when mean epoch loss dips below
+	// LRDecay linearly anneals the learning rate to LR*LRDecay by the
+	// final epoch (0 disables; 0.1 ends at a tenth of the initial rate).
+	LRDecay float64
+}
+
+// DefaultTrainOptions are sized for the benchmark harness.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Epochs: 30, Batch: 16, LR: 3e-3, Seed: 1, MinLoss: 0.02}
+}
+
+// Fit trains a model on samples with data-parallel gradient accumulation:
+// workers run forward/backward on disjoint samples of a batch and their
+// gradients accumulate under a lock before each Adam step.
+func Fit(m Seq2Seq, samples []Sample, opt TrainOptions) []float64 {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.NumCPU()
+	}
+	params := m.Params()
+	adam := NewAdam(params, opt.LR)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var gradMu sync.Mutex
+
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	var epochLosses []float64
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		if opt.LRDecay > 0 && opt.Epochs > 1 {
+			frac := float64(epoch) / float64(opt.Epochs-1)
+			adam.LR = opt.LR * (1 - (1-opt.LRDecay)*frac)
+		}
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var total float64
+		var count int
+		for start := 0; start < len(order); start += opt.Batch {
+			end := start + opt.Batch
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			var wg sync.WaitGroup
+			losses := make([]float64, len(batch))
+			sem := make(chan struct{}, opt.Workers)
+			for bi, si := range batch {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(bi, si int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					tp := NewTape()
+					loss := m.Loss(tp, samples[si].Input, samples[si].Output)
+					tp.Backward(loss)
+					gradMu.Lock()
+					tp.MergeGrads()
+					gradMu.Unlock()
+					losses[bi] = float64(loss.Data[0])
+				}(bi, si)
+			}
+			wg.Wait()
+			// Average gradients over the batch.
+			inv := float32(1 / float64(len(batch)))
+			for _, p := range params {
+				for i := range p.Grad {
+					p.Grad[i] *= inv
+				}
+			}
+			adam.Step()
+			for _, l := range losses {
+				total += l
+			}
+			count += len(batch)
+		}
+		mean := total / float64(count)
+		epochLosses = append(epochLosses, mean)
+		if opt.Verbose != nil {
+			opt.Verbose(epoch, mean)
+		}
+		if opt.MinLoss > 0 && mean < opt.MinLoss {
+			break
+		}
+	}
+	return epochLosses
+}
+
+// ExactMatch evaluates the fraction of samples whose greedy generation
+// reproduces the reference output exactly (the paper's Exact Match score).
+func ExactMatch(m Seq2Seq, samples []Sample, maxLen int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	type result struct{ ok bool }
+	results := make([]bool, len(samples))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i := range samples {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			got := m.Generate(samples[i].Input, maxLen)
+			results[i] = equalInts(got, samples[i].Output)
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	for _, ok := range results {
+		if ok {
+			n++
+		}
+	}
+	return float64(n) / float64(len(samples))
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TopK returns the indexes of the k largest values (for inspection tools).
+func TopK(xs []float32, k int) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

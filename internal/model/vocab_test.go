@@ -1,0 +1,131 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func trainSeqs() [][]string {
+	return [][]string{
+		{"unsigned", "Kind", "=", "Fixup", ".", "getTargetKind", "(", ")", ";"},
+		{"case", "ARM", "::", "fixup_arm_movt_hi16", ":"},
+		{"case", "Mips", "::", "fixup_MIPS_HI16", ":"},
+		{"return", "ELF", "::", "R_ARM_MOVT_PREL", ";"},
+		{"return", "ELF", "::", "R_MIPS_HI16", ";"},
+		{"switch", "(", "Kind", ")", "{"},
+	}
+}
+
+func TestVocabRoundTrip(t *testing.T) {
+	v := BuildVocab(trainSeqs(), 1, nil)
+	for _, seq := range trainSeqs() {
+		ids := v.Encode(seq)
+		got := v.Decode(ids)
+		if !reflect.DeepEqual(got, seq) {
+			t.Errorf("round trip: %v -> %v", seq, got)
+		}
+	}
+}
+
+func TestVocabUnseenTokenRoundTrip(t *testing.T) {
+	v := BuildVocab(trainSeqs(), 1, nil)
+	// Never-seen identifier must still round-trip via shared units and
+	// character fallback.
+	for _, tok := range []string{"fixup_riscv_pcrel_hi20", "R_RISCV_PCREL_HI20", "RISCV", "q7!z"} {
+		ids := v.Encode([]string{tok})
+		got := v.Decode(ids)
+		if len(got) != 1 || got[0] != tok {
+			t.Errorf("unseen token %q decoded as %v", tok, got)
+		}
+	}
+}
+
+func TestVocabForceChar(t *testing.T) {
+	v := BuildVocab(trainSeqs(), 1, []string{"ARM", "Mips"})
+	ids := v.Encode([]string{"ARM"})
+	if len(ids) != 3 { // A, ##R, ##M
+		t.Errorf("forceChar ARM encoded as %d pieces, want 3", len(ids))
+	}
+	if got := v.Decode(ids); got[0] != "ARM" {
+		t.Errorf("forceChar round trip = %v", got)
+	}
+	// The whole piece must not be in the vocabulary.
+	if v.Has("ARM") && v.ID("ARM") >= numSpecial+NumConfidenceBuckets {
+		// Single chars A..Z are always present; the unit "ARM" itself must
+		// not have been added by counting.
+		t.Error("forced-char unit leaked into vocab")
+	}
+}
+
+func TestConfidenceTokens(t *testing.T) {
+	v := BuildVocab(nil, 1, nil)
+	for _, score := range []float64{0, 0.5, 1} {
+		id := v.ConfidenceToken(score)
+		got, ok := v.ConfidenceValue(id)
+		if !ok {
+			t.Fatalf("ConfidenceValue(%d) not a bucket", id)
+		}
+		if diff := got - score; diff > 0.06 || diff < -0.06 {
+			t.Errorf("confidence %f -> token -> %f", score, got)
+		}
+	}
+	if _, ok := v.ConfidenceValue(PAD); ok {
+		t.Error("PAD must not be a confidence bucket")
+	}
+	if v.ConfidenceToken(2.0) != v.ConfidenceToken(1.0) {
+		t.Error("scores above 1 must clamp")
+	}
+	if v.ConfidenceToken(-1) != v.ConfidenceToken(0) {
+		t.Error("scores below 0 must clamp")
+	}
+}
+
+func TestSplitUnits(t *testing.T) {
+	cases := map[string][]string{
+		"fixup_arm_movt_hi16": {"fixup", "_", "arm", "_", "movt", "_", "hi", "16"},
+		"getTargetKind":       {"get", "Target", "Kind"},
+		"R_ARM_MOVT_PREL":     {"R", "_", "ARM", "_", "MOVT", "_", "PREL"},
+		"IsPCRel":             {"Is", "PC", "Rel"},
+		"::":                  {":", ":"},
+		"x":                   {"x"},
+		"42":                  {"42"},
+		`"RISCV"`:             {`"`, "RISCV", `"`},
+	}
+	for tok, want := range cases {
+		if got := splitUnits(tok); !reflect.DeepEqual(got, want) {
+			t.Errorf("splitUnits(%q) = %v, want %v", tok, got, want)
+		}
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary printable-ASCII token
+// sequences.
+func TestVocabRoundTripProperty(t *testing.T) {
+	v := BuildVocab(trainSeqs(), 2, nil)
+	f := func(raw []uint8) bool {
+		var tok []rune
+		for _, b := range raw {
+			tok = append(tok, rune(33+int(b)%94))
+		}
+		if len(tok) == 0 {
+			return true
+		}
+		s := string(tok)
+		got := v.Decode(v.Encode([]string{s}))
+		return len(got) == 1 && got[0] == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVocabSpecialsStable(t *testing.T) {
+	v := BuildVocab(trainSeqs(), 1, nil)
+	if v.PieceText(PAD) != "[PAD]" || v.PieceText(SEP) != "[SEP]" || v.PieceText(ABSENT) != "[ABSENT]" {
+		t.Error("special token ids shifted")
+	}
+	if v.ID("[SEP]") != SEP {
+		t.Error("SEP lookup broken")
+	}
+}

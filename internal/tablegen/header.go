@@ -1,0 +1,174 @@
+package tablegen
+
+import (
+	"fmt"
+	"strings"
+
+	"vega/internal/cpp"
+)
+
+// Enum is an enum declaration extracted from a C++ header.
+type Enum struct {
+	Name    string
+	Members []EnumMember
+}
+
+// EnumMember is one enumerator, with its raw initializer text if present.
+type EnumMember struct {
+	Name  string
+	Value string
+}
+
+// MemberNames lists the enumerator names in declaration order.
+func (e *Enum) MemberNames() []string {
+	out := make([]string, len(e.Members))
+	for i, m := range e.Members {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// Has reports whether the enum declares the named member.
+func (e *Enum) Has(name string) bool {
+	for _, m := range e.Members {
+		if m.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseEnums extracts every enum declaration from C++ header source.
+// Namespaces and class scopes are scanned through; everything that is not
+// an enum is skipped token-wise.
+func ParseEnums(src string) ([]Enum, error) {
+	toks, err := cpp.Lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("tablegen: %w", err)
+	}
+	var enums []Enum
+	for i := 0; i < len(toks); i++ {
+		if !toks[i].IsKeyword("enum") {
+			continue
+		}
+		e, end, perr := parseEnumAt(toks, i)
+		if perr != nil {
+			return nil, perr
+		}
+		enums = append(enums, e)
+		i = end
+	}
+	return enums, nil
+}
+
+// parseEnumAt parses the enum starting at toks[i] (the "enum" keyword) and
+// returns the enum and the index of its closing brace.
+func parseEnumAt(toks []cpp.Token, i int) (Enum, int, error) {
+	j := i + 1
+	if j < len(toks) && toks[j].IsKeyword("class") {
+		j++
+	}
+	var e Enum
+	if j < len(toks) && toks[j].Kind == cpp.TokIdent {
+		e.Name = toks[j].Text
+		j++
+	}
+	// Optional underlying type ": unsigned".
+	if j < len(toks) && toks[j].IsPunct(":") {
+		j++
+		for j < len(toks) && !toks[j].IsPunct("{") {
+			j++
+		}
+	}
+	if j >= len(toks) || !toks[j].IsPunct("{") {
+		return e, j, fmt.Errorf("tablegen: enum %s: expected '{'", e.Name)
+	}
+	j++
+	for j < len(toks) && !toks[j].IsPunct("}") {
+		if toks[j].Kind != cpp.TokIdent {
+			return e, j, fmt.Errorf("tablegen: enum %s: expected member name, found %q", e.Name, toks[j].Text)
+		}
+		m := EnumMember{Name: toks[j].Text}
+		j++
+		if j < len(toks) && toks[j].IsPunct("=") {
+			j++
+			var parts []string
+			depth := 0
+			for j < len(toks) {
+				t := toks[j]
+				if depth == 0 && (t.IsPunct(",") || t.IsPunct("}")) {
+					break
+				}
+				if t.IsPunct("(") {
+					depth++
+				}
+				if t.IsPunct(")") {
+					depth--
+				}
+				parts = append(parts, t.Text)
+				j++
+			}
+			m.Value = strings.Join(parts, " ")
+		}
+		e.Members = append(e.Members, m)
+		if j < len(toks) && toks[j].IsPunct(",") {
+			j++
+		}
+	}
+	if j >= len(toks) {
+		return e, j, fmt.Errorf("tablegen: enum %s: unterminated body", e.Name)
+	}
+	return e, j, nil
+}
+
+// DefMacro is one X-macro invocation from a .def file, e.g.
+// ELF_RELOC(R_RISCV_HI20, 26).
+type DefMacro struct {
+	Name string
+	Args []string
+}
+
+// ParseDefFile extracts macro invocations "NAME(arg, arg, ...)" from a
+// .def file, one per line by convention.
+func ParseDefFile(src string) ([]DefMacro, error) {
+	toks, err := cpp.Lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("tablegen: %w", err)
+	}
+	var out []DefMacro
+	i := 0
+	for i < len(toks) {
+		if toks[i].Kind != cpp.TokIdent || i+1 >= len(toks) || !toks[i+1].IsPunct("(") {
+			i++
+			continue
+		}
+		m := DefMacro{Name: toks[i].Text}
+		i += 2
+		var cur []string
+		depth := 1
+		for i < len(toks) && depth > 0 {
+			t := toks[i]
+			switch {
+			case t.IsPunct("("):
+				depth++
+				cur = append(cur, t.Text)
+			case t.IsPunct(")"):
+				depth--
+				if depth > 0 {
+					cur = append(cur, t.Text)
+				}
+			case t.IsPunct(",") && depth == 1:
+				m.Args = append(m.Args, strings.Join(cur, " "))
+				cur = nil
+			default:
+				cur = append(cur, t.Text)
+			}
+			i++
+		}
+		if len(cur) > 0 {
+			m.Args = append(m.Args, strings.Join(cur, " "))
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

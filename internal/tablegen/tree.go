@@ -1,0 +1,303 @@
+package tablegen
+
+import (
+	"sort"
+	"strings"
+
+	"vega/internal/cpp"
+)
+
+// SourceTree is a virtual directory of source files — the LLVM-provided
+// code under LLVMDIRs plus the per-target description files under TGTDIRs.
+// It answers the search queries Algorithm 1 performs: token occurrence,
+// assignment scanning, and enum membership.
+type SourceTree struct {
+	files map[string]string // path -> content
+
+	// lazily built indexes
+	tokens  map[string]map[string]bool // path -> token set
+	assigns map[string][]Assignment    // path -> assignments
+	enums   map[string][]Enum          // path -> enums
+}
+
+// Assignment is a "key = value" pair found in a file, whether a TableGen
+// field, a top-level .td assignment, or a C++ initializer.
+type Assignment struct {
+	Path  string
+	LHS   string
+	RHS   string // unquoted for string literals
+	IsStr bool
+}
+
+// NewSourceTree builds an empty tree.
+func NewSourceTree() *SourceTree {
+	return &SourceTree{files: make(map[string]string)}
+}
+
+// Add inserts or replaces a file. Indexes are invalidated.
+func (t *SourceTree) Add(path, content string) {
+	t.files[path] = content
+	t.tokens, t.assigns, t.enums = nil, nil, nil
+}
+
+// Content returns a file's content.
+func (t *SourceTree) Content(path string) (string, bool) {
+	c, ok := t.files[path]
+	return c, ok
+}
+
+// Paths returns all file paths, sorted.
+func (t *SourceTree) Paths() []string {
+	out := make([]string, 0, len(t.files))
+	for p := range t.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PathsUnder returns all file paths under any of the given directory
+// prefixes, sorted.
+func (t *SourceTree) PathsUnder(dirs []string) []string {
+	var out []string
+	for p := range t.files {
+		for _, d := range dirs {
+			if strings.HasPrefix(p, strings.TrimSuffix(d, "/")+"/") {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (t *SourceTree) buildTokenIndex() {
+	if t.tokens != nil {
+		return
+	}
+	t.tokens = make(map[string]map[string]bool, len(t.files))
+	for p, c := range t.files {
+		set := make(map[string]bool)
+		toks, err := cpp.Lex(c)
+		if err != nil {
+			// Fall back to whitespace splitting on unlexable content so a
+			// single odd file cannot hide the rest of the tree.
+			for _, w := range strings.Fields(c) {
+				set[w] = true
+			}
+		} else {
+			for _, tok := range toks {
+				set[tok.Text] = true
+				if tok.Kind == cpp.TokString {
+					// Index string contents too: feature selection matches
+					// tokens against values like Name = "RISCV".
+					set[unquote(tok.Text)] = true
+				}
+			}
+		}
+		t.tokens[p] = set
+	}
+}
+
+// FindToken returns the sorted paths under dirs whose token stream
+// contains tok exactly.
+func (t *SourceTree) FindToken(tok string, dirs []string) []string {
+	t.buildTokenIndex()
+	var out []string
+	for _, p := range t.PathsUnder(dirs) {
+		if t.tokens[p][tok] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// HasToken reports whether tok occurs in any file under dirs.
+func (t *SourceTree) HasToken(tok string, dirs []string) bool {
+	return len(t.FindToken(tok, dirs)) > 0
+}
+
+func (t *SourceTree) buildAssignIndex() {
+	if t.assigns != nil {
+		return
+	}
+	t.assigns = make(map[string][]Assignment, len(t.files))
+	for p, c := range t.files {
+		t.assigns[p] = scanAssignments(p, c)
+	}
+}
+
+// scanAssignments finds "ident = value" pairs token-wise. String RHSes are
+// unquoted. This catches TableGen fields, top-level assigns and C++
+// initializers uniformly, which is all Algorithm 1's partial matching
+// needs.
+func scanAssignments(path, content string) []Assignment {
+	toks, err := cpp.Lex(content)
+	if err != nil {
+		return nil
+	}
+	var out []Assignment
+	for i := 1; i+1 < len(toks); i++ {
+		if !toks[i].IsPunct("=") {
+			continue
+		}
+		lhs, rhs := toks[i-1], toks[i+1]
+		if lhs.Kind != cpp.TokIdent {
+			continue
+		}
+		a := Assignment{Path: path, LHS: lhs.Text}
+		switch rhs.Kind {
+		case cpp.TokString:
+			a.RHS = unquote(rhs.Text)
+			a.IsStr = true
+		case cpp.TokIdent, cpp.TokNumber, cpp.TokKeyword:
+			a.RHS = rhs.Text
+		default:
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// ListAssignment is an "LHS = [a, b, c]" binding (TableGen list values).
+type ListAssignment struct {
+	Path  string
+	LHS   string
+	Items []string
+}
+
+// scanListAssignments finds "ident = [ items ]" bindings token-wise.
+func scanListAssignments(path, content string) []ListAssignment {
+	toks, err := cpp.Lex(content)
+	if err != nil {
+		return nil
+	}
+	var out []ListAssignment
+	for i := 1; i+1 < len(toks); i++ {
+		if !toks[i].IsPunct("=") || !toks[i+1].IsPunct("[") || toks[i-1].Kind != cpp.TokIdent {
+			continue
+		}
+		la := ListAssignment{Path: path, LHS: toks[i-1].Text}
+		for j := i + 2; j < len(toks); j++ {
+			t := toks[j]
+			if t.IsPunct("]") {
+				break
+			}
+			if t.Kind == cpp.TokIdent || t.Kind == cpp.TokNumber {
+				la.Items = append(la.Items, t.Text)
+			} else if t.Kind == cpp.TokString {
+				la.Items = append(la.Items, unquote(t.Text))
+			}
+		}
+		out = append(out, la)
+	}
+	return out
+}
+
+// ListAssignmentsUnder returns every list assignment in files under dirs.
+func (t *SourceTree) ListAssignmentsUnder(dirs []string) []ListAssignment {
+	var out []ListAssignment
+	for _, p := range t.PathsUnder(dirs) {
+		if !strings.HasSuffix(p, ".td") {
+			continue
+		}
+		c := t.files[p]
+		out = append(out, scanListAssignments(p, c)...)
+	}
+	return out
+}
+
+// AssignmentsUnder returns every assignment in files under dirs.
+func (t *SourceTree) AssignmentsUnder(dirs []string) []Assignment {
+	t.buildAssignIndex()
+	var out []Assignment
+	for _, p := range t.PathsUnder(dirs) {
+		out = append(out, t.assigns[p]...)
+	}
+	return out
+}
+
+func (t *SourceTree) buildEnumIndex() {
+	if t.enums != nil {
+		return
+	}
+	t.enums = make(map[string][]Enum, len(t.files))
+	for p, c := range t.files {
+		if !strings.HasSuffix(p, ".h") && !strings.HasSuffix(p, ".def") {
+			continue
+		}
+		es, err := ParseEnums(c)
+		if err != nil {
+			continue
+		}
+		if strings.HasSuffix(p, ".def") {
+			// X-macro .def files act as enums named after the macro:
+			// ELF_RELOC(R_X_32, 1) contributes member R_X_32 to ELF_RELOC.
+			if macros, err := ParseDefFile(c); err == nil {
+				index := map[string]int{}
+				var synth []Enum
+				for _, m := range macros {
+					if len(m.Args) == 0 {
+						continue
+					}
+					k, ok := index[m.Name]
+					if !ok {
+						k = len(synth)
+						index[m.Name] = k
+						synth = append(synth, Enum{Name: m.Name})
+					}
+					mem := EnumMember{Name: m.Args[0]}
+					if len(m.Args) > 1 {
+						mem.Value = m.Args[1]
+					}
+					synth[k].Members = append(synth[k].Members, mem)
+				}
+				es = append(es, synth...)
+			}
+		}
+		t.enums[p] = es
+	}
+}
+
+// EnumsUnder returns all enums declared in headers under dirs, with the
+// paths that declare them.
+func (t *SourceTree) EnumsUnder(dirs []string) map[string][]Enum {
+	t.buildEnumIndex()
+	out := make(map[string][]Enum)
+	for _, p := range t.PathsUnder(dirs) {
+		if es := t.enums[p]; len(es) > 0 {
+			out[p] = es
+		}
+	}
+	return out
+}
+
+// EnumContaining finds the enum (and declaring path) that has member under
+// dirs. Returns ok=false if none does.
+func (t *SourceTree) EnumContaining(member string, dirs []string) (enumName, path string, ok bool) {
+	t.buildEnumIndex()
+	for _, p := range t.PathsUnder(dirs) {
+		for _, e := range t.enums[p] {
+			if e.Has(member) {
+				return e.Name, p, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// EnumMembers returns the members of the named enum found under dirs
+// (first declaration wins).
+func (t *SourceTree) EnumMembers(enumName string, dirs []string) []string {
+	t.buildEnumIndex()
+	for _, p := range t.PathsUnder(dirs) {
+		for _, e := range t.enums[p] {
+			if e.Name == enumName {
+				return e.MemberNames()
+			}
+		}
+	}
+	return nil
+}
