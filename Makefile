@@ -1,0 +1,25 @@
+# Tier-1 verification targets. `make check` is what CI runs: vet plus
+# the full test suite under the race detector, which exercises the
+# concurrent training/cancellation paths added by the fault-tolerance
+# layer.
+
+GO ?= go
+
+.PHONY: check vet test test-race build bench
+
+check: vet test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race -timeout 45m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -129,8 +129,13 @@ func (h *harness) pipeline() *core.Pipeline {
 		for _, g := range p.Groups {
 			h.templates[g.Func.Name] = g.FT
 		}
-		fmt.Printf("# trained: %d samples, vocab %d, verification EM %.1f%%\n\n",
+		fmt.Printf("# trained: %d samples, vocab %d, verification EM %.1f%%\n",
 			res.Samples, res.VocabSize, 100*res.VerifyExactMatch)
+		if res.RetriedEpochs > 0 || res.SkippedSamples > 0 {
+			fmt.Printf("# resilience: %d epoch(s) retried, %d sample(s) skipped\n",
+				res.RetriedEpochs, res.SkippedSamples)
+		}
+		fmt.Println()
 	}
 	return h.p
 }
@@ -143,6 +148,10 @@ func (h *harness) backend(target string) *generate.Backend {
 		return b
 	}
 	b := h.pipeline().GenerateBackend(target)
+	if b.Recovered > 0 || b.Partial {
+		fmt.Printf("# %s: %d function(s) recovered from crashes, partial=%v\n",
+			target, b.Recovered, b.Partial)
+	}
 	h.gens[target] = b
 	return b
 }

@@ -7,13 +7,21 @@
 // Usage:
 //
 //	vega -target RISCV [-epochs 14] [-samples 2600] [-arch transformer]
-//	     [-out generated/] [-seed 1] [-quiet]
+//	     [-out generated/] [-seed 1] [-quiet] [-timeout 10m]
+//
+// The run honors a deadline (-timeout) and Ctrl-C: a canceled training
+// run reports the epochs that finished; a canceled generation run still
+// writes the functions generated so far, marked partial. Fault-injection
+// points for exercising these paths are armed via VEGA_FAULTS (see
+// README.md).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -35,12 +43,21 @@ func main() {
 		evaluap = flag.Bool("eval", true, "run pass@1 evaluation against the reference backend")
 		saveCk  = flag.String("save", "", "write a model checkpoint after training")
 		loadCk  = flag.String("load", "", "load a model checkpoint instead of training")
+		timeout = flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 	)
 	flag.Parse()
 
 	if corpus.FindTarget(*target) == nil {
 		fmt.Fprintf(os.Stderr, "vega: unknown target %q\n", *target)
 		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	start := time.Now()
@@ -69,18 +86,33 @@ func main() {
 		check(p.Load(*loadCk))
 		fmt.Printf("stage 2: loaded checkpoint %s\n", *loadCk)
 	} else {
-		res, err := p.Train()
+		res, err := p.TrainContext(ctx)
+		if err != nil && res != nil && res.Canceled {
+			fmt.Fprintf(os.Stderr, "vega: training stopped after %d epoch(s): %v\n",
+				len(res.PretrainLosses)+len(res.EpochLosses), err)
+			os.Exit(1)
+		}
 		check(err)
 		fmt.Printf("stage 2: %d samples, vocab %d, verification exact match %.1f%% (%s)\n",
 			res.Samples, res.VocabSize, 100*res.VerifyExactMatch, time.Since(start).Round(time.Second))
+		if res.RetriedEpochs > 0 || res.SkippedSamples > 0 {
+			fmt.Printf("  resilience: %d epoch(s) retried, %d sample(s) skipped\n",
+				res.RetriedEpochs, res.SkippedSamples)
+		}
 		if *saveCk != "" {
 			check(p.Save(*saveCk))
 			fmt.Printf("checkpoint written to %s\n", *saveCk)
 		}
 	}
 
-	gen := p.GenerateBackend(*target)
+	gen := p.GenerateBackendContext(ctx, *target)
 	fmt.Printf("stage 3: %s\n", core.Describe(gen))
+	if gen.Partial {
+		fmt.Printf("  partial: generation stopped early; %d function(s) salvaged\n", len(gen.Functions))
+	}
+	if gen.Recovered > 0 {
+		fmt.Printf("  resilience: %d function(s) recovered from crashes (flagged at confidence 0)\n", gen.Recovered)
+	}
 	for _, m := range corpus.Modules {
 		if sec, ok := gen.Seconds[string(m)]; ok {
 			fmt.Printf("  %s: %.1fs\n", m, sec)

@@ -1,12 +1,43 @@
 package core
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"vega/internal/faultinject"
 	"vega/internal/model"
 )
+
+// Checkpoint files are self-verifying: a fixed header carries a magic
+// string, a format version, the payload length, and a SHA-256 digest of
+// the gob payload, so a truncated or bit-flipped file fails Load with a
+// typed error instead of a garbled gob decode. Writes are atomic (temp
+// file in the destination directory, fsync, rename), so a crash mid-save
+// never clobbers the previous checkpoint.
+var (
+	// ErrCheckpointFormat marks a file that is not a vega checkpoint.
+	ErrCheckpointFormat = errors.New("core: not a vega checkpoint")
+	// ErrCheckpointVersion marks an unsupported format version.
+	ErrCheckpointVersion = errors.New("core: unsupported checkpoint version")
+	// ErrCheckpointCorrupt marks truncation or checksum mismatch.
+	ErrCheckpointCorrupt = errors.New("core: checkpoint corrupt")
+	// ErrCheckpointArch marks a checkpoint whose architecture or
+	// parameter shapes do not fit the pipeline loading it.
+	ErrCheckpointArch = errors.New("core: checkpoint architecture mismatch")
+)
+
+var ckptMagic = [8]byte{'V', 'E', 'G', 'A', 'C', 'K', 'P', 'T'}
+
+const ckptVersion = 1
+
+// ckptHeaderLen is magic(8) + version(4) + payload length(8) + sha256(32).
+const ckptHeaderLen = 8 + 4 + 8 + sha256.Size
 
 // checkpoint is the serialized form of a trained pipeline: the vocabulary
 // and model weights. Stage-1 state (templates, features, splits) is
@@ -35,54 +66,148 @@ func (p *Pipeline) Save(path string) error {
 	for _, t := range p.Model.Params() {
 		ck.Params = append(ck.Params, append([]float32{}, t.Data...))
 	}
-	f, err := os.Create(path)
+	return writeCheckpointFile(path, &ck)
+}
+
+// writeCheckpointFile encodes ck and writes it atomically: the bytes land
+// in a temp file in the destination directory, are fsynced, and only then
+// renamed over path, so a crash mid-write leaves any previous checkpoint
+// intact.
+func writeCheckpointFile(path string, ck *checkpoint) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	buf := make([]byte, 0, ckptHeaderLen+payload.Len())
+	buf = append(buf, ckptMagic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, ckptVersion)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(payload.Len()))
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload.Bytes()...)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
-	defer f.Close()
-	if err := gob.NewEncoder(f).Encode(&ck); err != nil {
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
 		return fmt.Errorf("core: save: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if faultinject.Should(faultinject.CheckpointCorrupt, path) {
+		if err := flipCheckpointByte(path); err != nil {
+			return fmt.Errorf("core: faultinject: %w", err)
+		}
+	}
 	return nil
+}
+
+// flipCheckpointByte flips one bit of the first payload byte in place —
+// the CheckpointCorrupt fault used to prove Load's checksum detection.
+func flipCheckpointByte(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], ckptHeaderLen); err != nil {
+		return err
+	}
+	b[0] ^= 0x01
+	_, err = f.WriteAt(b[:], ckptHeaderLen)
+	return err
+}
+
+// readCheckpointFile reads and verifies a checkpoint written by
+// writeCheckpointFile, returning typed errors on malformed input.
+func readCheckpointFile(path string) (*checkpoint, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if len(raw) < ckptHeaderLen {
+		if len(raw) < len(ckptMagic) || !bytes.Equal(raw[:len(ckptMagic)], ckptMagic[:]) {
+			return nil, fmt.Errorf("%w: %s", ErrCheckpointFormat, path)
+		}
+		return nil, fmt.Errorf("%w: %s: truncated header", ErrCheckpointCorrupt, path)
+	}
+	if !bytes.Equal(raw[:len(ckptMagic)], ckptMagic[:]) {
+		return nil, fmt.Errorf("%w: %s", ErrCheckpointFormat, path)
+	}
+	version := binary.BigEndian.Uint32(raw[8:12])
+	if version != ckptVersion {
+		return nil, fmt.Errorf("%w: %s: version %d", ErrCheckpointVersion, path, version)
+	}
+	plen := binary.BigEndian.Uint64(raw[12:20])
+	payload := raw[ckptHeaderLen:]
+	if uint64(len(payload)) != plen {
+		return nil, fmt.Errorf("%w: %s: payload %d bytes, header says %d",
+			ErrCheckpointCorrupt, path, len(payload), plen)
+	}
+	var want [sha256.Size]byte
+	copy(want[:], raw[20:ckptHeaderLen])
+	if sha256.Sum256(payload) != want {
+		return nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCheckpointCorrupt, path)
+	}
+	var ck checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCheckpointCorrupt, path, err)
+	}
+	return &ck, nil
 }
 
 // Load restores a trained model and vocabulary saved with Save. The
 // pipeline must have been built over the same corpus with the same seed.
 func (p *Pipeline) Load(path string) error {
-	f, err := os.Open(path)
+	ck, err := readCheckpointFile(path)
 	if err != nil {
-		return fmt.Errorf("core: load: %w", err)
+		return err
 	}
-	defer f.Close()
-	var ck checkpoint
-	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
-		return fmt.Errorf("core: load: %w", err)
+	vocab := model.VocabFromPieces(ck.Pieces, ck.ForceChar)
+	if vocab.Size() != ck.ModelCfg.Vocab {
+		return fmt.Errorf("%w: vocab size %d != config %d",
+			ErrCheckpointCorrupt, vocab.Size(), ck.ModelCfg.Vocab)
 	}
-	p.Vocab = model.VocabFromPieces(ck.Pieces, ck.ForceChar)
-	if p.Vocab.Size() != ck.ModelCfg.Vocab {
-		return fmt.Errorf("core: load: vocab size %d != config %d", p.Vocab.Size(), ck.ModelCfg.Vocab)
-	}
+	var m model.Seq2Seq
 	switch ck.Arch {
 	case "", "transformer":
-		p.Model = model.NewTransformer(ck.ModelCfg)
+		m = model.NewTransformer(ck.ModelCfg)
 	case "gru":
-		p.Model = model.NewGRUSeq2Seq(ck.ModelCfg)
+		m = model.NewGRUSeq2Seq(ck.ModelCfg)
 	case "bert":
-		p.Model = model.NewBERTStyle(ck.ModelCfg, p.Cfg.MaxOutPieces)
+		m = model.NewBERTStyle(ck.ModelCfg, p.Cfg.MaxOutPieces)
 	default:
-		return fmt.Errorf("core: load: unknown architecture %q", ck.Arch)
+		return fmt.Errorf("%w: unknown architecture %q", ErrCheckpointArch, ck.Arch)
 	}
-	p.Cfg.Arch = ck.Arch
-	p.Cfg.Model = ck.ModelCfg
-	params := p.Model.Params()
+	params := m.Params()
 	if len(params) != len(ck.Params) {
-		return fmt.Errorf("core: load: parameter count %d != %d", len(ck.Params), len(params))
+		return fmt.Errorf("%w: parameter count %d != %d",
+			ErrCheckpointArch, len(ck.Params), len(params))
 	}
 	for i, t := range params {
 		if len(t.Data) != len(ck.Params[i]) {
-			return fmt.Errorf("core: load: parameter %d size mismatch", i)
+			return fmt.Errorf("%w: parameter %d size mismatch", ErrCheckpointArch, i)
 		}
 		copy(t.Data, ck.Params[i])
 	}
+	// All checks passed: only now mutate the pipeline, so a failed Load
+	// leaves any previously loaded model untouched.
+	p.Vocab = vocab
+	p.Model = m
+	p.Cfg.Arch = ck.Arch
+	p.Cfg.Model = ck.ModelCfg
 	return nil
 }

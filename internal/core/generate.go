@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"strings"
 	"time"
 
 	"vega/internal/corpus"
+	"vega/internal/faultinject"
 	"vega/internal/feature"
 	"vega/internal/generate"
 	"vega/internal/model"
@@ -18,9 +21,23 @@ func joinTokens(toks []string) string { return template.JoinTokens(toks) }
 // target: it resolves the target's property values from its description
 // files, builds one feature vector per template row, and decodes each
 // into a confidence-annotated statement.
-func (p *Pipeline) GenerateFunction(g *Group, target string) *generate.Function {
+//
+// The call is a panic boundary: a crash anywhere in feature resolution,
+// decoding, or tensor math degrades to a zero-confidence, error-annotated
+// function — one bad template row flags itself for review (the paper's
+// per-function confidence behaviour) instead of killing the backend.
+func (p *Pipeline) GenerateFunction(g *Group, target string) (fn *generate.Function) {
+	defer func() {
+		if r := recover(); r != nil {
+			fn = generate.FailedFunction(g.Func.Name, g.FT.Module, target,
+				fmt.Errorf("recovered panic: %v", r))
+		}
+	}()
+	if faultinject.Should(faultinject.GeneratePanic, g.Func.Name) {
+		panic(fmt.Sprintf("faultinject generate-panic in %s", g.Func.Name))
+	}
 	tv := p.Extractor.TargetValues(g.TF, target)
-	fn := &generate.Function{
+	fn = &generate.Function{
 		Name:   g.Func.Name,
 		Module: g.FT.Module,
 		Target: target,
@@ -34,7 +51,9 @@ func (p *Pipeline) GenerateFunction(g *Group, target string) *generate.Function 
 	return fn
 }
 
-// decode runs the configured decoding strategy.
+// decode runs the configured decoding strategy. Beam search needs the
+// transformer; any other architecture downgrades to greedy decoding and
+// says so once instead of silently ignoring the config.
 func (p *Pipeline) decode(inIDs []int) []int {
 	if p.Cfg.BeamWidth > 1 {
 		if t, ok := p.Model.(*model.Transformer); ok {
@@ -42,6 +61,12 @@ func (p *Pipeline) decode(inIDs []int) []int {
 			if len(beams) > 0 {
 				return beams[0].IDs
 			}
+		} else {
+			p.beamWarn.Do(func() {
+				p.BeamFallback = true
+				log.Printf("core: BeamWidth %d needs the transformer; arch %q decodes greedily",
+					p.Cfg.BeamWidth, p.Cfg.Arch)
+			})
 		}
 	}
 	return p.Model.Generate(inIDs, p.Cfg.MaxOutPieces)
@@ -124,14 +149,36 @@ func (p *Pipeline) decodeStatement(g *Group, ri int, tv *feature.TargetFeatures,
 // complete backend for a new target, with per-module wall-clock timings
 // (Fig. 7's series).
 func (p *Pipeline) GenerateBackend(target string) *generate.Backend {
+	return p.GenerateBackendContext(context.Background(), target)
+}
+
+// GenerateBackendContext is GenerateBackend with cancellation: when ctx
+// is canceled or times out mid-run, the backend generated so far is
+// returned with Partial set, so a long Stage 3 run salvages the modules
+// it finished. Functions that panic are recovered (see GenerateFunction)
+// and counted in Recovered.
+func (p *Pipeline) GenerateBackendContext(ctx context.Context, target string) *generate.Backend {
 	b := &generate.Backend{Target: target, Seconds: make(map[string]float64)}
 	for _, m := range corpus.Modules {
+		if faultinject.Should(faultinject.GenerateCancel, string(m)) {
+			b.Partial = true
+			return b
+		}
 		start := time.Now()
 		for _, g := range p.Groups {
 			if g.FT.Module != string(m) {
 				continue
 			}
-			b.Functions = append(b.Functions, p.GenerateFunction(g, target))
+			if ctx.Err() != nil {
+				b.Partial = true
+				b.Seconds[string(m)] += time.Since(start).Seconds()
+				return b
+			}
+			fn := p.GenerateFunction(g, target)
+			if fn.Failed() {
+				b.Recovered++
+			}
+			b.Functions = append(b.Functions, fn)
 		}
 		b.Seconds[string(m)] += time.Since(start).Seconds()
 	}

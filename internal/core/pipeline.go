@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"vega/internal/corpus"
 	"vega/internal/feature"
@@ -103,6 +104,12 @@ type Pipeline struct {
 	// split, as "funcName/target" keys.
 	TrainFns  map[string]bool
 	VerifyFns map[string]bool
+
+	// BeamFallback is set (and logged once via beamWarn) when BeamWidth
+	// > 1 is configured but the architecture cannot beam-search, so
+	// decoding downgraded to greedy.
+	BeamFallback bool
+	beamWarn     sync.Once
 }
 
 // New builds the pipeline through Stage 1 (templates + features) over the

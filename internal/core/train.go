@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,12 +19,29 @@ type TrainResult struct {
 	// verification split (the paper reports 99.03%).
 	VerifyExactMatch float64
 	VerifySamples    int
+	// RetriedEpochs counts epochs re-run from last-good weights after a
+	// NaN/Inf or diverging loss (pre-training included).
+	RetriedEpochs int
+	// SkippedSamples counts samples dropped mid-epoch for non-finite
+	// losses or isolated panics.
+	SkippedSamples int
+	// Canceled is set when the context stopped training early; the
+	// result then describes the partial run.
+	Canceled bool
 }
 
-// Train runs Stage 2: builds the vocabulary, encodes the training split,
-// optionally pre-trains with a denoising objective, and fine-tunes the
-// selected architecture.
+// Train runs Stage 2 to completion; it is TrainContext without
+// cancellation.
 func (p *Pipeline) Train() (*TrainResult, error) {
+	return p.TrainContext(context.Background())
+}
+
+// TrainContext runs Stage 2: builds the vocabulary, encodes the training
+// split, optionally pre-trains with a denoising objective, and fine-tunes
+// the selected architecture. When ctx is canceled or times out, the
+// partial TrainResult (epochs completed so far) is returned alongside the
+// error so callers can salvage or report it.
+func (p *Pipeline) TrainContext(ctx context.Context) (*TrainResult, error) {
 	// Vocabulary over the training split only.
 	p.Vocab = model.BuildVocabExtra(p.trainingSequences(), 2, p.forceCharNames(), markerTokens)
 
@@ -53,13 +71,27 @@ func (p *Pipeline) Train() (*TrainResult, error) {
 		opt := p.Cfg.Train
 		opt.Epochs = p.Cfg.PretrainEpochs
 		opt.MinLoss = 0
-		res.PretrainLosses = model.Fit(p.Model, pre, opt)
+		stats, err := model.FitContext(ctx, p.Model, pre, opt)
+		res.PretrainLosses = stats.EpochLosses
+		res.RetriedEpochs += stats.RetriedEpochs
+		res.SkippedSamples += stats.SkippedSamples
+		if err != nil {
+			res.Canceled = stats.Canceled
+			return res, fmt.Errorf("core: pretrain: %w", err)
+		}
 	}
 
 	all := append(p.samplesForSplit(p.TrainFns), p.absentSamples()...)
 	train := p.dedupAndCap(all, p.Cfg.MaxSamples, p.Cfg.Seed+1)
 	res.Samples = len(train)
-	res.EpochLosses = model.Fit(p.Model, train, p.Cfg.Train)
+	stats, err := model.FitContext(ctx, p.Model, train, p.Cfg.Train)
+	res.EpochLosses = stats.EpochLosses
+	res.RetriedEpochs += stats.RetriedEpochs
+	res.SkippedSamples += stats.SkippedSamples
+	if err != nil {
+		res.Canceled = stats.Canceled
+		return res, fmt.Errorf("core: train: %w", err)
+	}
 
 	// Verification exact match on (a capped subset of) the 25% split.
 	vcap := p.Cfg.VerifyCap

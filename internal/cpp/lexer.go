@@ -42,15 +42,6 @@ func Lex(src string) ([]Token, error) {
 	}
 }
 
-// MustLex is Lex but panics on error; for tests and embedded literals.
-func MustLex(src string) []Token {
-	toks, err := Lex(src)
-	if err != nil {
-		panic(err)
-	}
-	return toks
-}
-
 func (l *Lexer) peek() byte {
 	if l.off >= len(l.src) {
 		return 0

@@ -25,7 +25,7 @@ func TestLexBasicTokens(t *testing.T) {
 }
 
 func TestLexQualifiedName(t *testing.T) {
-	toks := MustLex(`case ARM::fixup_arm_movt_hi16:`)
+	toks := mustLex(t, `case ARM::fixup_arm_movt_hi16:`)
 	want := []string{"case", "ARM", "::", "fixup_arm_movt_hi16", ":"}
 	if got := TokenTexts(toks); !reflect.DeepEqual(got, want) {
 		t.Errorf("got %v, want %v", got, want)
@@ -44,7 +44,7 @@ func TestLexMultiCharPunct(t *testing.T) {
 		"a<=b>=c":  {"a", "<=", "b", ">=", "c"},
 	}
 	for src, want := range cases {
-		if got := TokenTexts(MustLex(src)); !reflect.DeepEqual(got, want) {
+		if got := TokenTexts(mustLex(t, src)); !reflect.DeepEqual(got, want) {
 			t.Errorf("Lex(%q) = %v, want %v", src, got, want)
 		}
 	}
@@ -59,7 +59,7 @@ func TestLexNumbers(t *testing.T) {
 		"0xffL": "0xffL",
 	}
 	for src, want := range cases {
-		toks := MustLex(src)
+		toks := mustLex(t, src)
 		if len(toks) != 1 || toks[0].Kind != TokNumber || toks[0].Text != want {
 			t.Errorf("Lex(%q) = %v, want single number %q", src, toks, want)
 		}
@@ -67,7 +67,7 @@ func TestLexNumbers(t *testing.T) {
 }
 
 func TestLexStringAndChar(t *testing.T) {
-	toks := MustLex(`Name == "RISCV" && c == 'x'`)
+	toks := mustLex(t, `Name == "RISCV" && c == 'x'`)
 	if toks[2].Kind != TokString || toks[2].Text != `"RISCV"` {
 		t.Errorf("string literal = %v", toks[2])
 	}
@@ -77,7 +77,7 @@ func TestLexStringAndChar(t *testing.T) {
 }
 
 func TestLexStringEscapes(t *testing.T) {
-	toks := MustLex(`"a\"b" 'b'`)
+	toks := mustLex(t, `"a\"b" 'b'`)
 	if toks[0].Text != `"a\"b"` {
 		t.Errorf("escaped string = %q", toks[0].Text)
 	}
@@ -86,7 +86,7 @@ func TestLexStringEscapes(t *testing.T) {
 func TestLexSkipsComments(t *testing.T) {
 	src := "a; // line comment\n/* block\ncomment */ b;"
 	want := []string{"a", ";", "b", ";"}
-	if got := TokenTexts(MustLex(src)); !reflect.DeepEqual(got, want) {
+	if got := TokenTexts(mustLex(t, src)); !reflect.DeepEqual(got, want) {
 		t.Errorf("got %v, want %v", got, want)
 	}
 }
@@ -113,13 +113,13 @@ func TestLexKeepComments(t *testing.T) {
 func TestLexSkipsPreprocessor(t *testing.T) {
 	src := "#include \"x.h\"\nint a;"
 	want := []string{"int", "a", ";"}
-	if got := TokenTexts(MustLex(src)); !reflect.DeepEqual(got, want) {
+	if got := TokenTexts(mustLex(t, src)); !reflect.DeepEqual(got, want) {
 		t.Errorf("got %v, want %v", got, want)
 	}
 }
 
 func TestLexPositions(t *testing.T) {
-	toks := MustLex("a\n  b")
+	toks := mustLex(t, "a\n  b")
 	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
 		t.Errorf("a at %v", toks[0].Pos)
 	}
@@ -164,4 +164,15 @@ func TestLexRoundTripProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
+}
+
+// mustLex replaces the removed MustLex API: lexer errors now flow
+// through Lex's error return instead of a panic.
+func mustLex(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks
 }

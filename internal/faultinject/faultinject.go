@@ -1,0 +1,144 @@
+// Package faultinject provides named fault points for exercising the
+// pipeline's recovery paths. A fault point is armed either
+// programmatically (tests) or through the VEGA_FAULTS environment
+// variable (CLIs), and fires at most once per arming when a caller asks
+// whether it should fail at a matching site.
+//
+// The environment form is a semicolon-separated list of point=spec
+// pairs, e.g.
+//
+//	VEGA_FAULTS="generate-panic=getRelocType;train-nan=2"
+//
+// A spec of "*" (or an empty spec) matches every key offered at that
+// point; otherwise the spec must equal the key exactly. All operations
+// are safe for concurrent use.
+package faultinject
+
+import (
+	"os"
+	"strings"
+	"sync"
+)
+
+// Point names a fault site compiled into the pipeline.
+type Point string
+
+const (
+	// CheckpointCorrupt flips one payload byte of a checkpoint right
+	// after it is written; key = destination path.
+	CheckpointCorrupt Point = "checkpoint-corrupt"
+	// GeneratePanic panics inside GenerateFunction; key = interface
+	// function name.
+	GeneratePanic Point = "generate-panic"
+	// GenerateCancel aborts backend generation as if the context had
+	// been canceled; key = module name.
+	GenerateCancel Point = "generate-cancel"
+	// TrainNaN poisons one model parameter with NaN at the start of an
+	// epoch; key = decimal epoch index.
+	TrainNaN Point = "train-nan"
+	// TrainCancel stops training as if the context had been canceled;
+	// key = decimal epoch index.
+	TrainCancel Point = "train-cancel"
+)
+
+var (
+	mu      sync.Mutex
+	armed   map[Point]string
+	fired   map[Point]int
+	envOnce sync.Once
+)
+
+// loadEnv arms the points listed in VEGA_FAULTS. Called lazily so tests
+// that never touch the package pay nothing.
+func loadEnv() {
+	envOnce.Do(func() {
+		for p, spec := range parseSpecs(os.Getenv("VEGA_FAULTS")) {
+			armRaw(p, spec)
+		}
+	})
+}
+
+// parseSpecs parses the VEGA_FAULTS syntax: "point=spec;point2=spec2".
+func parseSpecs(s string) map[Point]string {
+	out := make(map[Point]string)
+	for _, pair := range strings.Split(s, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, spec, _ := strings.Cut(pair, "=")
+		out[Point(strings.TrimSpace(name))] = strings.TrimSpace(spec)
+	}
+	return out
+}
+
+func armRaw(p Point, spec string) {
+	if armed == nil {
+		armed = make(map[Point]string)
+	}
+	armed[p] = spec
+}
+
+// Arm arms a fault point with a spec ("" or "*" matches any key).
+func Arm(p Point, spec string) {
+	loadEnv()
+	mu.Lock()
+	defer mu.Unlock()
+	armRaw(p, spec)
+}
+
+// Disarm removes a single armed point.
+func Disarm(p Point) {
+	loadEnv()
+	mu.Lock()
+	defer mu.Unlock()
+	delete(armed, p)
+}
+
+// Reset disarms every point and clears fire counts. Environment faults
+// are not re-armed; tests call Reset to start from a clean slate.
+func Reset() {
+	loadEnv()
+	mu.Lock()
+	defer mu.Unlock()
+	armed = nil
+	fired = nil
+}
+
+// Should reports whether the fault at p should fire for key. A firing
+// consumes the arming, so each armed fault triggers exactly once.
+func Should(p Point, key string) bool {
+	loadEnv()
+	mu.Lock()
+	defer mu.Unlock()
+	spec, ok := armed[p]
+	if !ok {
+		return false
+	}
+	if spec != "" && spec != "*" && spec != key {
+		return false
+	}
+	delete(armed, p)
+	if fired == nil {
+		fired = make(map[Point]int)
+	}
+	fired[p]++
+	return true
+}
+
+// Armed reports whether p is currently armed (without consuming it).
+func Armed(p Point) bool {
+	loadEnv()
+	mu.Lock()
+	defer mu.Unlock()
+	_, ok := armed[p]
+	return ok
+}
+
+// Fired returns how many times p has fired since the last Reset.
+func Fired(p Point) int {
+	loadEnv()
+	mu.Lock()
+	defer mu.Unlock()
+	return fired[p]
+}

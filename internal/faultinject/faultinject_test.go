@@ -1,0 +1,95 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShouldFiresOnce(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(GeneratePanic, "getRelocType")
+	if Should(GeneratePanic, "other") {
+		t.Fatal("fired on non-matching key")
+	}
+	if !Should(GeneratePanic, "getRelocType") {
+		t.Fatal("did not fire on matching key")
+	}
+	if Should(GeneratePanic, "getRelocType") {
+		t.Fatal("fired twice")
+	}
+	if Fired(GeneratePanic) != 1 {
+		t.Fatalf("fired count = %d", Fired(GeneratePanic))
+	}
+}
+
+func TestWildcardSpec(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(CheckpointCorrupt, "*")
+	if !Should(CheckpointCorrupt, "/any/path.ckpt") {
+		t.Fatal("wildcard did not match")
+	}
+	Arm(TrainNaN, "")
+	if !Should(TrainNaN, "3") {
+		t.Fatal("empty spec did not match")
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(TrainCancel, "2")
+	if !Armed(TrainCancel) {
+		t.Fatal("not armed")
+	}
+	Disarm(TrainCancel)
+	if Armed(TrainCancel) || Should(TrainCancel, "2") {
+		t.Fatal("still armed after Disarm")
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	got := parseSpecs(" generate-panic=getRelocType ; train-nan=2; checkpoint-corrupt=* ;;")
+	want := map[Point]string{
+		GeneratePanic:     "getRelocType",
+		TrainNaN:          "2",
+		CheckpointCorrupt: "*",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v", got)
+	}
+	for p, spec := range want {
+		if got[p] != spec {
+			t.Fatalf("parsed %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrentShould exercises the one-shot guarantee under the race
+// detector: many goroutines race on one armed point; exactly one wins.
+func TestConcurrentShould(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(GeneratePanic, "*")
+	var wg sync.WaitGroup
+	hits := make(chan bool, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if Should(GeneratePanic, "fn") {
+				hits <- true
+			}
+		}()
+	}
+	wg.Wait()
+	close(hits)
+	n := 0
+	for range hits {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("fired %d times, want 1", n)
+	}
+}

@@ -31,7 +31,21 @@ type Function struct {
 	Module     string
 	Target     string
 	Statements []Statement
+	// Err records why generation crashed for this function; a failed
+	// function carries no statements and scores confidence 0, so it is
+	// flagged for manual review instead of aborting the backend.
+	Err string
 }
+
+// FailedFunction builds the zero-confidence placeholder emitted when
+// generating a function panics: the backend stays complete and the
+// failure is visible in the confidence review.
+func FailedFunction(name, module, target string, err error) *Function {
+	return &Function{Name: name, Module: module, Target: target, Err: err.Error()}
+}
+
+// Failed reports whether generation crashed for this function.
+func (f *Function) Failed() bool { return f.Err != "" }
 
 // Confidence returns the function-level score: the first statement's
 // (the function definition line).
@@ -91,6 +105,9 @@ func (f *Function) Render() string {
 // form developers review (Fig. 4(d)).
 func (f *Function) RenderAnnotated() string {
 	var b strings.Builder
+	if f.Err != "" {
+		fmt.Fprintf(&b, "0.00 | <generation failed: %s>\n", f.Err)
+	}
 	for _, s := range f.Statements {
 		text := s.Text
 		if s.Absent {
@@ -132,6 +149,12 @@ type Backend struct {
 	Functions []*Function
 	// Seconds records per-module generation time for Fig. 7.
 	Seconds map[string]float64
+	// Recovered counts functions whose generation panicked and was
+	// converted into a zero-confidence placeholder.
+	Recovered int
+	// Partial is set when generation stopped early (context canceled or
+	// timed out); Functions holds what completed before the stop.
+	Partial bool
 }
 
 // ByModule groups the functions per module in stable order.

@@ -1,6 +1,7 @@
 package generate
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -159,5 +160,24 @@ func TestRenderClosesUnclosedBlocks(t *testing.T) {
 	}
 	if _, err := f.Parse(); err != nil {
 		t.Fatalf("unclosed-block repair failed: %v\n%s", err, f.Render())
+	}
+}
+
+func TestFailedFunctionIsZeroConfidence(t *testing.T) {
+	f := FailedFunction("getRelocType", "EMI", "RISCV", fmt.Errorf("recovered panic: boom"))
+	if !f.Failed() {
+		t.Fatal("Failed() = false")
+	}
+	if f.Confidence() != 0 || f.Generated() {
+		t.Errorf("failed function must be zero-confidence and ungenerated: %+v", f)
+	}
+	if f.Render() != "" {
+		t.Errorf("failed function rendered source: %q", f.Render())
+	}
+	if !strings.Contains(f.RenderAnnotated(), "generation failed") {
+		t.Errorf("annotation hides the failure: %q", f.RenderAnnotated())
+	}
+	if f.StatementCount() != 0 {
+		t.Errorf("StatementCount = %d", f.StatementCount())
 	}
 }

@@ -69,3 +69,27 @@ func (a *Adam) ZeroGrad() {
 		p.ZeroGrad()
 	}
 }
+
+// adamState is a deep copy of the optimizer's moments and step counter,
+// captured by snapshot for epoch-level rollback in FitContext.
+type adamState struct {
+	m, v [][]float32
+	step int
+}
+
+func (a *Adam) snapshot() adamState {
+	st := adamState{step: a.step, m: make([][]float32, len(a.m)), v: make([][]float32, len(a.v))}
+	for i := range a.m {
+		st.m[i] = append([]float32{}, a.m[i]...)
+		st.v[i] = append([]float32{}, a.v[i]...)
+	}
+	return st
+}
+
+func (a *Adam) restore(st adamState) {
+	a.step = st.step
+	for i := range st.m {
+		copy(a.m[i], st.m[i])
+		copy(a.v[i], st.v[i])
+	}
+}

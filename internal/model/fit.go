@@ -1,0 +1,280 @@
+package model
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"vega/internal/faultinject"
+)
+
+// ErrTrainingDiverged is returned by FitContext when an epoch keeps
+// producing non-finite or diverging losses after the retry budget is
+// spent.
+var ErrTrainingDiverged = errors.New("model: training diverged")
+
+// TrainOptions tune Fit.
+type TrainOptions struct {
+	Epochs  int
+	Batch   int
+	LR      float64
+	Seed    int64
+	Workers int // parallel samples per batch; 0 = NumCPU
+	Verbose func(epoch int, loss float64)
+	MinLoss float64 // early stop when mean epoch loss dips below
+	// LRDecay linearly anneals the learning rate to LR*LRDecay by the
+	// final epoch (0 disables; 0.1 ends at a tenth of the initial rate).
+	LRDecay float64
+	// MaxEpochRetries bounds how many times a bad epoch (NaN/Inf loss,
+	// non-finite weights, or divergence) is re-run from the last good
+	// weights with a decayed LR before Fit gives up. 0 means the
+	// default of 2; negative disables retries.
+	MaxEpochRetries int
+	// RetryLRDecay scales the learning rate on each epoch retry
+	// (0 means the default of 0.5; must be in (0,1)).
+	RetryLRDecay float64
+	// DivergeFactor flags an epoch as diverging when its mean loss
+	// exceeds DivergeFactor times the best epoch mean so far. 0
+	// disables the check; NaN/Inf is always caught.
+	DivergeFactor float64
+}
+
+// DefaultTrainOptions are sized for the benchmark harness.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Epochs: 30, Batch: 16, LR: 3e-3, Seed: 1, MinLoss: 0.02}
+}
+
+// FitStats reports a training run's outcomes, including the resilience
+// events that rescued it.
+type FitStats struct {
+	// EpochLosses holds the mean loss of every completed epoch.
+	EpochLosses []float64
+	// RetriedEpochs counts epoch re-runs after NaN/Inf or divergence.
+	RetriedEpochs int
+	// SkippedSamples counts samples whose forward pass produced a
+	// non-finite loss or panicked; their gradients were dropped.
+	SkippedSamples int
+	// Canceled is set when the context was canceled before all epochs
+	// completed; EpochLosses then holds the finished epochs only.
+	Canceled bool
+}
+
+// Fit trains a model on samples and returns the per-epoch losses; it is
+// FitContext without cancellation, retaining the pre-context signature
+// used throughout the tests and examples.
+func Fit(m Seq2Seq, samples []Sample, opt TrainOptions) []float64 {
+	stats, _ := FitContext(context.Background(), m, samples, opt)
+	return stats.EpochLosses
+}
+
+// FitContext trains a model on samples with data-parallel gradient
+// accumulation: workers run forward/backward on disjoint samples of a
+// batch and their gradients accumulate under a lock before each Adam
+// step.
+//
+// The run is fault tolerant. A sample whose forward pass panics or
+// yields a non-finite loss is skipped (its gradients never merge). An
+// epoch whose mean loss or weights end up non-finite — or, with
+// DivergeFactor set, diverge from the best epoch so far — is rolled
+// back to the last good weights and optimizer state and re-run with a
+// decayed learning rate, up to MaxEpochRetries times, before
+// ErrTrainingDiverged is returned. Cancellation is honored between
+// batches; the stats returned alongside ctx.Err() cover the epochs that
+// completed.
+func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptions) (FitStats, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.NumCPU()
+	}
+	maxRetries := opt.MaxEpochRetries
+	if maxRetries == 0 {
+		maxRetries = 2
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	retryDecay := opt.RetryLRDecay
+	if retryDecay <= 0 || retryDecay >= 1 {
+		retryDecay = 0.5
+	}
+	params := m.Params()
+	adam := NewAdam(params, opt.LR)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var gradMu sync.Mutex
+	var stats FitStats
+
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+
+	// runEpoch performs one full pass; it returns the mean loss over the
+	// samples that contributed gradients, or ctx's error when canceled
+	// mid-epoch.
+	runEpoch := func() (float64, error) {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var total float64
+		var count int
+		for start := 0; start < len(order); start += opt.Batch {
+			if err := ctx.Err(); err != nil {
+				return math.NaN(), err
+			}
+			end := start + opt.Batch
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			var wg sync.WaitGroup
+			losses := make([]float64, len(batch))
+			sem := make(chan struct{}, opt.Workers)
+			for bi, si := range batch {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(bi, si int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					losses[bi] = math.NaN() // overwritten on success
+					defer func() {
+						// A panic in tensor math (shape mismatch on a
+						// pathological sample) is isolated to this sample.
+						recover()
+					}()
+					tp := NewTape()
+					loss := m.Loss(tp, samples[si].Input, samples[si].Output)
+					lv := float64(loss.Data[0])
+					if math.IsNaN(lv) || math.IsInf(lv, 0) {
+						return // keep the poison out of the gradients
+					}
+					tp.Backward(loss)
+					gradMu.Lock()
+					tp.MergeGrads()
+					gradMu.Unlock()
+					losses[bi] = lv
+				}(bi, si)
+			}
+			wg.Wait()
+			applied := 0
+			for _, l := range losses {
+				if math.IsNaN(l) {
+					stats.SkippedSamples++
+					continue
+				}
+				total += l
+				count++
+				applied++
+			}
+			if applied == 0 {
+				adam.ZeroGrad()
+				continue
+			}
+			// Average gradients over the contributing samples.
+			inv := float32(1 / float64(applied))
+			for _, p := range params {
+				for i := range p.Grad {
+					p.Grad[i] *= inv
+				}
+			}
+			adam.Step()
+		}
+		if count == 0 {
+			return math.NaN(), nil
+		}
+		return total / float64(count), nil
+	}
+
+	retryScale := 1.0
+	best := math.Inf(1)
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			stats.Canceled = true
+			return stats, err
+		}
+		if faultinject.Should(faultinject.TrainCancel, strconv.Itoa(epoch)) {
+			stats.Canceled = true
+			return stats, fmt.Errorf("model: faultinject train-cancel at epoch %d: %w",
+				epoch, context.Canceled)
+		}
+		// Last-good state for rollback: weights and optimizer moments.
+		snap := cloneParamData(params)
+		adamSnap := adam.snapshot()
+		attempt := 0
+		var mean float64
+		for {
+			if opt.LRDecay > 0 && opt.Epochs > 1 {
+				frac := float64(epoch) / float64(opt.Epochs-1)
+				adam.LR = opt.LR * (1 - (1-opt.LRDecay)*frac) * retryScale
+			} else {
+				adam.LR = opt.LR * retryScale
+			}
+			if faultinject.Should(faultinject.TrainNaN, strconv.Itoa(epoch)) {
+				params[0].Data[0] = float32(math.NaN())
+			}
+			var err error
+			mean, err = runEpoch()
+			if err != nil {
+				// Canceled mid-epoch: the completed steps are valid, but
+				// the unfinished epoch's mean is not reported.
+				stats.Canceled = true
+				return stats, err
+			}
+			bad := math.IsNaN(mean) || math.IsInf(mean, 0) || !paramsFinite(params)
+			if !bad && opt.DivergeFactor > 0 && !math.IsInf(best, 1) && mean > opt.DivergeFactor*best {
+				bad = true
+			}
+			if !bad {
+				break
+			}
+			if attempt >= maxRetries {
+				restoreParamData(params, snap)
+				adam.restore(adamSnap)
+				return stats, fmt.Errorf("%w: epoch %d mean loss %v after %d retries",
+					ErrTrainingDiverged, epoch, mean, attempt)
+			}
+			attempt++
+			stats.RetriedEpochs++
+			restoreParamData(params, snap)
+			adam.restore(adamSnap)
+			retryScale *= retryDecay
+		}
+		if mean < best {
+			best = mean
+		}
+		stats.EpochLosses = append(stats.EpochLosses, mean)
+		if opt.Verbose != nil {
+			opt.Verbose(epoch, mean)
+		}
+		if opt.MinLoss > 0 && mean < opt.MinLoss {
+			break
+		}
+	}
+	return stats, nil
+}
+
+func cloneParamData(params []*Tensor) [][]float32 {
+	out := make([][]float32, len(params))
+	for i, p := range params {
+		out[i] = append([]float32{}, p.Data...)
+	}
+	return out
+}
+
+func restoreParamData(params []*Tensor, snap [][]float32) {
+	for i, p := range params {
+		copy(p.Data, snap[i])
+		p.ZeroGrad()
+	}
+}
+
+func paramsFinite(params []*Tensor) bool {
+	for _, p := range params {
+		for _, v := range p.Data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -229,100 +229,6 @@ type Seq2Seq interface {
 
 var _ Seq2Seq = (*Transformer)(nil)
 
-// TrainOptions tune Fit.
-type TrainOptions struct {
-	Epochs  int
-	Batch   int
-	LR      float64
-	Seed    int64
-	Workers int // parallel samples per batch; 0 = NumCPU
-	Verbose func(epoch int, loss float64)
-	MinLoss float64 // early stop when mean epoch loss dips below
-	// LRDecay linearly anneals the learning rate to LR*LRDecay by the
-	// final epoch (0 disables; 0.1 ends at a tenth of the initial rate).
-	LRDecay float64
-}
-
-// DefaultTrainOptions are sized for the benchmark harness.
-func DefaultTrainOptions() TrainOptions {
-	return TrainOptions{Epochs: 30, Batch: 16, LR: 3e-3, Seed: 1, MinLoss: 0.02}
-}
-
-// Fit trains a model on samples with data-parallel gradient accumulation:
-// workers run forward/backward on disjoint samples of a batch and their
-// gradients accumulate under a lock before each Adam step.
-func Fit(m Seq2Seq, samples []Sample, opt TrainOptions) []float64 {
-	if opt.Workers <= 0 {
-		opt.Workers = runtime.NumCPU()
-	}
-	params := m.Params()
-	adam := NewAdam(params, opt.LR)
-	rng := rand.New(rand.NewSource(opt.Seed))
-	var gradMu sync.Mutex
-
-	order := make([]int, len(samples))
-	for i := range order {
-		order[i] = i
-	}
-	var epochLosses []float64
-	for epoch := 0; epoch < opt.Epochs; epoch++ {
-		if opt.LRDecay > 0 && opt.Epochs > 1 {
-			frac := float64(epoch) / float64(opt.Epochs-1)
-			adam.LR = opt.LR * (1 - (1-opt.LRDecay)*frac)
-		}
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		var total float64
-		var count int
-		for start := 0; start < len(order); start += opt.Batch {
-			end := start + opt.Batch
-			if end > len(order) {
-				end = len(order)
-			}
-			batch := order[start:end]
-			var wg sync.WaitGroup
-			losses := make([]float64, len(batch))
-			sem := make(chan struct{}, opt.Workers)
-			for bi, si := range batch {
-				wg.Add(1)
-				sem <- struct{}{}
-				go func(bi, si int) {
-					defer wg.Done()
-					defer func() { <-sem }()
-					tp := NewTape()
-					loss := m.Loss(tp, samples[si].Input, samples[si].Output)
-					tp.Backward(loss)
-					gradMu.Lock()
-					tp.MergeGrads()
-					gradMu.Unlock()
-					losses[bi] = float64(loss.Data[0])
-				}(bi, si)
-			}
-			wg.Wait()
-			// Average gradients over the batch.
-			inv := float32(1 / float64(len(batch)))
-			for _, p := range params {
-				for i := range p.Grad {
-					p.Grad[i] *= inv
-				}
-			}
-			adam.Step()
-			for _, l := range losses {
-				total += l
-			}
-			count += len(batch)
-		}
-		mean := total / float64(count)
-		epochLosses = append(epochLosses, mean)
-		if opt.Verbose != nil {
-			opt.Verbose(epoch, mean)
-		}
-		if opt.MinLoss > 0 && mean < opt.MinLoss {
-			break
-		}
-	}
-	return epochLosses
-}
-
 // ExactMatch evaluates the fraction of samples whose greedy generation
 // reproduces the reference output exactly (the paper's Exact Match score).
 func ExactMatch(m Seq2Seq, samples []Sample, maxLen int) float64 {

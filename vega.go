@@ -19,6 +19,11 @@
 //	backend := p.GenerateBackend("RISCV")
 //	report := vega.Evaluate(p, backend)
 //
+// Training and generation honor context cancellation and survive bad
+// states — use p.TrainContext / p.GenerateBackendContext for deadlines,
+// and see DESIGN.md's "Failure modes & recovery" for the panic
+// isolation, checkpoint checksumming, and NaN-retry behaviour.
+//
 // Subsystems live under internal/: the C++-subset frontend (cpp), the
 // mini TableGen (tablegen), GumTree-style alignment (gumtree),
 // templatization (template), feature selection (feature), the from-scratch
