@@ -1,19 +1,26 @@
-# Tier-1 verification targets. `make check` is what CI runs: vet plus
-# the full test suite under the race detector, which exercises the
-# concurrent training/cancellation paths added by the fault-tolerance
-# layer.
+# Tier-1 verification targets. `make check` is what CI runs: lint (vet +
+# gofmt) plus the full test suite under the race detector, which
+# exercises the concurrent training/cancellation paths and Stage 3's
+# generation worker pool.
 
 GO ?= go
 
-.PHONY: check vet test test-race build bench
+.PHONY: check lint vet fmt-check test test-race build bench
 
-check: vet test-race
+check: lint test-race
 
 build:
 	$(GO) build ./...
 
+lint: vet fmt-check
+
 vet:
 	$(GO) vet ./...
+
+# gofmt -l lists unformatted files; fail the build when any exist.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...

@@ -39,6 +39,7 @@ var (
 	seed    = flag.Int64("seed", 1, "random seed")
 	fast    = flag.Bool("fast", false, "reduced budgets everywhere (smoke run)")
 	quiet   = flag.Bool("quiet", false, "suppress epoch logs")
+	workers = flag.Int("workers", 0, "parallel generation workers (0 = NumCPU); output is identical for any count")
 )
 
 func main() {
@@ -103,6 +104,7 @@ func (h *harness) config() core.Config {
 	cfg.Seed = *seed
 	cfg.Train.Epochs = *epochs
 	cfg.MaxSamples = *samples
+	cfg.Workers = *workers
 	if *fast {
 		cfg.Train.Epochs = 3
 		cfg.MaxSamples = 600

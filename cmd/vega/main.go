@@ -44,6 +44,7 @@ func main() {
 		saveCk  = flag.String("save", "", "write a model checkpoint after training")
 		loadCk  = flag.String("load", "", "load a model checkpoint instead of training")
 		timeout = flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
+		workers = flag.Int("workers", 0, "parallel generation workers (0 = NumCPU); output is identical for any count")
 	)
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func main() {
 	cfg.Train.Epochs = *epochs
 	cfg.MaxSamples = *samples
 	cfg.Arch = *arch
+	cfg.Workers = *workers
 	if !*quiet {
 		cfg.Train.Verbose = func(e int, l float64) {
 			fmt.Printf("  epoch %2d  loss %.4f  (%s)\n", e, l, time.Since(start).Round(time.Second))

@@ -4,7 +4,10 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"vega/internal/corpus"
@@ -53,11 +56,18 @@ func (p *Pipeline) GenerateFunction(g *Group, target string) (fn *generate.Funct
 
 // decode runs the configured decoding strategy. Beam search needs the
 // transformer; any other architecture downgrades to greedy decoding and
-// says so once instead of silently ignoring the config.
+// says so once instead of silently ignoring the config. The test-only
+// uncachedDecode flag swaps in the reference full-prefix decoder so
+// differential tests can compare backends bit for bit.
 func (p *Pipeline) decode(inIDs []int) []int {
 	if p.Cfg.BeamWidth > 1 {
 		if t, ok := p.Model.(*model.Transformer); ok {
-			beams := t.BeamGenerate(inIDs, p.Cfg.MaxOutPieces, p.Cfg.BeamWidth)
+			var beams []model.Beam
+			if p.uncachedDecode {
+				beams = t.BeamGenerateUncached(inIDs, p.Cfg.MaxOutPieces, p.Cfg.BeamWidth)
+			} else {
+				beams = t.BeamGenerate(inIDs, p.Cfg.MaxOutPieces, p.Cfg.BeamWidth)
+			}
 			if len(beams) > 0 {
 				return beams[0].IDs
 			}
@@ -67,6 +77,11 @@ func (p *Pipeline) decode(inIDs []int) []int {
 				log.Printf("core: BeamWidth %d needs the transformer; arch %q decodes greedily",
 					p.Cfg.BeamWidth, p.Cfg.Arch)
 			})
+		}
+	}
+	if p.uncachedDecode {
+		if t, ok := p.Model.(*model.Transformer); ok {
+			return t.GenerateUncached(inIDs, p.Cfg.MaxOutPieces)
 		}
 	}
 	return p.Model.Generate(inIDs, p.Cfg.MaxOutPieces)
@@ -154,33 +169,97 @@ func (p *Pipeline) GenerateBackend(target string) *generate.Backend {
 
 // GenerateBackendContext is GenerateBackend with cancellation: when ctx
 // is canceled or times out mid-run, the backend generated so far is
-// returned with Partial set, so a long Stage 3 run salvages the modules
-// it finished. Functions that panic are recovered (see GenerateFunction)
-// and counted in Recovered.
+// returned with Partial set, so a long Stage 3 run salvages the
+// functions it finished. Functions that panic are recovered (see
+// GenerateFunction) and counted in Recovered.
+//
+// Generation runs on a bounded worker pool of Cfg.Workers goroutines
+// (0 = NumCPU): model weights and Stage 1 state are read-only after
+// training, so interface functions decode independently. The pool
+// preserves the serial contract exactly:
+//
+//   - Functions appear in deterministic order — modules in
+//     corpus.Modules order, groups in p.Groups order within a module —
+//     for any worker count, with identical bytes (the differential
+//     tests in generate_parallel_test.go enforce this).
+//   - Seconds keeps Fig. 7's per-module semantics: each function's
+//     decode duration is recorded individually and aggregated into its
+//     module's entry. (Workers overlap, so module sums exceed wall
+//     clock on multi-core machines; cross-module ratios, the figure's
+//     subject, are preserved.)
+//   - Cancellation is observed per task: workers stop picking up work,
+//     already-decoded functions are kept, and Partial is set.
 func (p *Pipeline) GenerateBackendContext(ctx context.Context, target string) *generate.Backend {
 	b := &generate.Backend{Target: target, Seconds: make(map[string]float64)}
+
+	// Build the work list in the serial output order. The injected
+	// mid-run cancellation point cuts the list at a module boundary
+	// before any of that module's functions are attempted, exactly like
+	// the serial path did.
+	type task struct {
+		g      *Group
+		module string
+	}
+	var tasks []task
 	for _, m := range corpus.Modules {
 		if faultinject.Should(faultinject.GenerateCancel, string(m)) {
 			b.Partial = true
-			return b
+			break
 		}
-		start := time.Now()
 		for _, g := range p.Groups {
-			if g.FT.Module != string(m) {
-				continue
+			if g.FT.Module == string(m) {
+				tasks = append(tasks, task{g, string(m)})
 			}
-			if ctx.Err() != nil {
-				b.Partial = true
-				b.Seconds[string(m)] += time.Since(start).Seconds()
-				return b
-			}
-			fn := p.GenerateFunction(g, target)
-			if fn.Failed() {
-				b.Recovered++
-			}
-			b.Functions = append(b.Functions, fn)
 		}
-		b.Seconds[string(m)] += time.Since(start).Seconds()
+		b.Seconds[string(m)] = 0
+	}
+
+	workers := p.Cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	results := make([]*generate.Function, len(tasks))
+	durs := make([]float64, len(tasks))
+	var next int64
+	var canceled atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				if ctx.Err() != nil {
+					canceled.Store(true)
+					return
+				}
+				start := time.Now()
+				results[i] = p.GenerateFunction(tasks[i].g, target)
+				durs[i] = time.Since(start).Seconds()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if canceled.Load() || ctx.Err() != nil {
+		b.Partial = true
+	}
+	for i, fn := range results {
+		if fn == nil {
+			continue // task skipped after cancellation
+		}
+		if fn.Failed() {
+			b.Recovered++
+		}
+		b.Functions = append(b.Functions, fn)
+		b.Seconds[tasks[i].module] += durs[i]
 	}
 	return b
 }

@@ -57,6 +57,11 @@ type Config struct {
 	// BeamWidth > 1 enables beam-search decoding at generation time
 	// (transformer only); 0/1 is greedy.
 	BeamWidth int
+	// Workers bounds the generation worker pool: how many interface
+	// functions Stage 3 decodes concurrently (model weights are read-only
+	// after training). 0 or negative means runtime.NumCPU(). Output is
+	// deterministic and identical for any worker count.
+	Workers int
 }
 
 // DefaultConfig returns single-core-friendly settings.
@@ -110,6 +115,12 @@ type Pipeline struct {
 	// decoding downgraded to greedy.
 	BeamFallback bool
 	beamWarn     sync.Once
+
+	// uncachedDecode routes Stage 3 decoding through the reference
+	// (full-prefix, tape-recorded) decoder instead of the KV-cached one.
+	// Test-only: the differential tests generate a backend both ways and
+	// require the bytes to match.
+	uncachedDecode bool
 }
 
 // New builds the pipeline through Stage 1 (templates + features) over the

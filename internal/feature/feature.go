@@ -15,6 +15,7 @@ package feature
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"vega/internal/tablegen"
 	"vega/internal/template"
@@ -176,7 +177,12 @@ type Extractor struct {
 
 	propSites map[string]string // PropList: identifier -> identified site
 
-	// caches (keyed by path / target) for the hot discovery loops
+	// caches (keyed by path / target) for the hot discovery loops.
+	// Lazily filled on first use, so concurrent extraction — Stage 3's
+	// generation worker pool calls TargetValues from several goroutines —
+	// must hold mu around every lookup/build. The builds are
+	// deterministic and idempotent, so coarse serialization is enough.
+	mu          sync.Mutex
 	tdCache     map[string]*tablegen.TDFile
 	recordCache map[string]*recordMaps
 }
@@ -213,6 +219,13 @@ func NewExtractor(tree *tablegen.SourceTree, llvmDirs []string) *Extractor {
 
 // parseTD returns a cached parse of a .td file.
 func (e *Extractor) parseTD(path string) (*tablegen.TDFile, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.parseTDLocked(path)
+}
+
+// parseTDLocked is parseTD for callers already holding e.mu.
+func (e *Extractor) parseTDLocked(path string) (*tablegen.TDFile, bool) {
 	if td, ok := e.tdCache[path]; ok {
 		return td, td != nil
 	}

@@ -331,6 +331,8 @@ func (e *Extractor) correlateEnum(enumName, path string) (string, bool) {
 // recordsFor builds (and caches) the class/def indexes of one directory
 // set, keyed by the joined prefix list.
 func (e *Extractor) recordsFor(tgtDirs []string) *recordMaps {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	key := strings.Join(tgtDirs, "|")
 	if rm, ok := e.recordCache[key]; ok {
 		return rm
@@ -340,7 +342,7 @@ func (e *Extractor) recordsFor(tgtDirs []string) *recordMaps {
 		if !strings.HasSuffix(path, ".td") {
 			continue
 		}
-		td, ok := e.parseTD(path)
+		td, ok := e.parseTDLocked(path)
 		if !ok {
 			continue
 		}

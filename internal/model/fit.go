@@ -57,7 +57,10 @@ type FitStats struct {
 	// RetriedEpochs counts epoch re-runs after NaN/Inf or divergence.
 	RetriedEpochs int
 	// SkippedSamples counts samples whose forward pass produced a
-	// non-finite loss or panicked; their gradients were dropped.
+	// non-finite loss or panicked; their gradients were dropped. Only
+	// epochs whose steps were kept contribute — a rolled-back retry
+	// attempt's skips are discarded with its gradients, so the same
+	// sample is never counted once per retry.
 	SkippedSamples int
 	// Canceled is set when the context was canceled before all epochs
 	// completed; EpochLosses then holds the finished epochs only.
@@ -101,6 +104,11 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 		retryDecay = 0.5
 	}
 	params := m.Params()
+	if t, ok := m.(*Transformer); ok {
+		// Training mutates Embed in place; the incremental decoder's
+		// transposed-embedding cache must be rebuilt afterwards.
+		defer t.invalidateEmbT()
+	}
 	adam := NewAdam(params, opt.LR)
 	rng := rand.New(rand.NewSource(opt.Seed))
 	var gradMu sync.Mutex
@@ -112,15 +120,18 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 	}
 
 	// runEpoch performs one full pass; it returns the mean loss over the
-	// samples that contributed gradients, or ctx's error when canceled
-	// mid-epoch.
-	runEpoch := func() (float64, error) {
+	// samples that contributed gradients plus the number of samples it
+	// skipped, or ctx's error when canceled mid-epoch. The skip count is
+	// returned rather than accumulated into stats directly so a rolled-
+	// back epoch's skips are discarded along with its gradients — only
+	// epochs whose effects are kept may count toward SkippedSamples.
+	runEpoch := func() (float64, int, error) {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var total float64
-		var count int
+		var count, skipped int
 		for start := 0; start < len(order); start += opt.Batch {
 			if err := ctx.Err(); err != nil {
-				return math.NaN(), err
+				return math.NaN(), skipped, err
 			}
 			end := start + opt.Batch
 			if end > len(order) {
@@ -159,7 +170,7 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 			applied := 0
 			for _, l := range losses {
 				if math.IsNaN(l) {
-					stats.SkippedSamples++
+					skipped++
 					continue
 				}
 				total += l
@@ -180,9 +191,9 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 			adam.Step()
 		}
 		if count == 0 {
-			return math.NaN(), nil
+			return math.NaN(), skipped, nil
 		}
-		return total / float64(count), nil
+		return total / float64(count), skipped, nil
 	}
 
 	retryScale := 1.0
@@ -212,11 +223,14 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 			if faultinject.Should(faultinject.TrainNaN, strconv.Itoa(epoch)) {
 				params[0].Data[0] = float32(math.NaN())
 			}
+			var skipped int
 			var err error
-			mean, err = runEpoch()
+			mean, skipped, err = runEpoch()
 			if err != nil {
-				// Canceled mid-epoch: the completed steps are valid, but
-				// the unfinished epoch's mean is not reported.
+				// Canceled mid-epoch: the completed steps are valid (and
+				// stay applied), so its skips count, but the unfinished
+				// epoch's mean is not reported.
+				stats.SkippedSamples += skipped
 				stats.Canceled = true
 				return stats, err
 			}
@@ -225,14 +239,22 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 				bad = true
 			}
 			if !bad {
+				stats.SkippedSamples += skipped
 				break
 			}
 			if attempt >= maxRetries {
+				// The retry budget is spent: the run fails with this
+				// attempt's outcome, so its skips are part of the story
+				// the caller sees alongside ErrTrainingDiverged.
+				stats.SkippedSamples += skipped
 				restoreParamData(params, snap)
 				adam.restore(adamSnap)
 				return stats, fmt.Errorf("%w: epoch %d mean loss %v after %d retries",
 					ErrTrainingDiverged, epoch, mean, attempt)
 			}
+			// Rolled back: the attempt's gradients are discarded, and so
+			// are its skips — they would double-count the same samples
+			// when the epoch re-runs.
 			attempt++
 			stats.RetriedEpochs++
 			restoreParamData(params, snap)

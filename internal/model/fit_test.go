@@ -76,6 +76,31 @@ func TestFitRecoversFromInjectedNaN(t *testing.T) {
 	}
 }
 
+func TestFitRetrySkipsNotDoubleCounted(t *testing.T) {
+	// A poisoned epoch skips every sample, rolls back, and re-runs
+	// cleanly. The rolled-back attempt's skips were discarded with its
+	// gradients, so they must not surface in SkippedSamples — before the
+	// fix this reported the whole epoch's sample count.
+	faultinject.Reset()
+	defer faultinject.Reset()
+	const vocab = 24
+	samples := copyTask(vocab, 24, 2, 5)
+	m := NewTransformer(tinyConfig(vocab))
+	faultinject.Arm(faultinject.TrainNaN, "1")
+	stats, err := FitContext(context.Background(), m, samples,
+		TrainOptions{Epochs: 3, Batch: 8, LR: 3e-3, Seed: 2, Workers: 1})
+	if err != nil {
+		t.Fatalf("training did not recover: %v", err)
+	}
+	if stats.RetriedEpochs < 1 {
+		t.Fatalf("RetriedEpochs = %d, want >= 1 (injection did not fire)", stats.RetriedEpochs)
+	}
+	if stats.SkippedSamples != 0 {
+		t.Errorf("SkippedSamples = %d, want 0: rolled-back attempts' skips were counted",
+			stats.SkippedSamples)
+	}
+}
+
 func TestFitGivesUpAfterRetryBudget(t *testing.T) {
 	// A model whose loss is always NaN can never produce a good epoch;
 	// Fit must stop with ErrTrainingDiverged instead of looping.

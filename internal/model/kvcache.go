@@ -1,0 +1,400 @@
+package model
+
+import "math"
+
+// This file implements the fast Stage 3 inference path: a tape-free
+// forward encoder plus an incremental decoder with a per-sequence KV
+// cache. The reference decode (GenerateUncached and friends) re-runs the
+// whole decoder stack over the full prefix at every emitted token —
+// O(L²) decoder row computations per statement — and pays tape-recording
+// overhead (gradient buffers, closures, node lists) for ops that will
+// never be differentiated. The cached path feeds only the newest token
+// per step, reusing
+//
+//   - the encoder memory, computed once per sequence without a tape,
+//   - each decoder layer's cross-attention K/V projections of that
+//     memory, computed once per sequence, and
+//   - each decoder layer's self-attention K/V rows for every previously
+//     fed position, appended as decoding advances,
+//
+// for O(L) decoder row computations and zero autodiff bookkeeping.
+//
+// The outputs are bit-identical to the reference path. Every helper
+// below mirrors the accumulation order of the corresponding Tape op —
+// matmul's p-outer/j-inner loops with the zero-skip, LayerNorm's
+// float32 mean/variance accumulation, Softmax's max-shift — so the
+// float32 results match exactly, not just approximately. The
+// differential tests in kvcache_test.go enforce this invariant; keep the
+// kernels in lockstep with tensor.go when changing either.
+
+// IncrementalDecoder decodes one output sequence token by token against
+// a fixed encoder memory. It is cheap to Clone, which beam search uses
+// to branch hypotheses without re-decoding their shared prefix. A
+// decoder is single-goroutine; distinct decoders over the same
+// (read-only) Transformer may run concurrently.
+type IncrementalDecoder struct {
+	t      *Transformer
+	memR   int             // encoder memory rows
+	layers []decLayerCache // one per decoder layer
+	pos    int             // next position to be fed
+	scr    *decScratch     // lazily allocated, never shared across clones
+}
+
+// decScratch holds the per-decoder buffers Step reuses between calls, so
+// a long decode performs no per-step allocations. The logits slice Step
+// returns aliases one of them.
+type decScratch struct {
+	x, h, q, attn, o, st []float32
+	f                    []float32 // feed-forward hidden row
+	scores               []float32 // attention scores, MaxSeq wide
+	logits               []float32
+}
+
+// decLayerCache holds one decoder layer's attention state. crossK/crossV
+// are computed once per sequence and shared (read-only) across clones;
+// selfK/selfV grow by one D-wide row per fed token and are copied on
+// Clone.
+type decLayerCache struct {
+	selfK, selfV   []float32 // pos×D, appended per step
+	crossK, crossV []float32 // memR×D, fixed per sequence
+}
+
+// NewIncrementalDecoder runs the encoder over input and precomputes the
+// per-layer cross-attention projections of the memory.
+func (t *Transformer) NewIncrementalDecoder(input []int) *IncrementalDecoder {
+	mem := t.forwardEncode(input)
+	d := &IncrementalDecoder{t: t, memR: len(mem) / t.Cfg.Dim}
+	d.layers = make([]decLayerCache, len(t.Dec))
+	kvCap := t.Cfg.MaxSeq * t.Cfg.Dim
+	for li, l := range t.Dec {
+		d.layers[li].crossK = linearRowsFwd(mem, d.memR, l.Cross.WK)
+		d.layers[li].crossV = linearRowsFwd(mem, d.memR, l.Cross.WV)
+		// Pre-size the growing caches to the position bound the caller
+		// must respect, so Step can extend them without reallocating.
+		d.layers[li].selfK = make([]float32, 0, kvCap)
+		d.layers[li].selfV = make([]float32, 0, kvCap)
+	}
+	return d
+}
+
+// Clone branches the decoder: the growing self-attention rows are
+// copied, the per-sequence memory projections are shared.
+func (d *IncrementalDecoder) Clone() *IncrementalDecoder {
+	c := &IncrementalDecoder{t: d.t, memR: d.memR, pos: d.pos}
+	c.layers = make([]decLayerCache, len(d.layers))
+	kvCap := d.t.Cfg.MaxSeq * d.t.Cfg.Dim
+	for i := range d.layers {
+		c.layers[i].crossK = d.layers[i].crossK
+		c.layers[i].crossV = d.layers[i].crossV
+		c.layers[i].selfK = append(make([]float32, 0, kvCap), d.layers[i].selfK...)
+		c.layers[i].selfV = append(make([]float32, 0, kvCap), d.layers[i].selfV...)
+	}
+	return c
+}
+
+// Pos returns how many tokens have been fed so far (the position the
+// next token will occupy).
+func (d *IncrementalDecoder) Pos() int { return d.pos }
+
+// scratch returns the decoder's reusable buffers, allocating on first use.
+func (d *IncrementalDecoder) scratch() *decScratch {
+	if d.scr == nil {
+		t := d.t
+		dim := t.Cfg.Dim
+		ffw := dim
+		for _, l := range t.Dec {
+			if c := l.FF.In.W.C; c > ffw {
+				ffw = c
+			}
+		}
+		d.scr = &decScratch{
+			x: make([]float32, dim), h: make([]float32, dim),
+			q: make([]float32, dim), attn: make([]float32, dim),
+			o: make([]float32, dim), st: make([]float32, dim),
+			f:      make([]float32, ffw),
+			scores: make([]float32, t.Cfg.MaxSeq),
+			logits: make([]float32, t.Cfg.Vocab),
+		}
+	}
+	return d.scr
+}
+
+// Step feeds one token at the next position and returns the
+// next-token logits row. The caller must keep Pos() < Cfg.MaxSeq, the
+// same bound the reference path enforces on its growing prefix. The
+// returned slice aliases a scratch buffer: it is valid until the next
+// Step on this decoder.
+func (d *IncrementalDecoder) Step(token int) []float32 {
+	t := d.t
+	dim := t.Cfg.Dim
+	pos := d.pos
+	s := d.scratch()
+
+	// Token embedding + learned positional embedding (panics past MaxSeq
+	// exactly like the reference path's PosEnc lookup would).
+	x := s.x
+	er := t.Embed.Row(token)
+	pr := t.PosEnc.Row(pos)
+	for j := range x {
+		x[j] = er[j] + pr[j]
+	}
+
+	h := s.h
+	for li, l := range t.Dec {
+		lc := &d.layers[li]
+
+		// Self attention: project the new row, extend the cache, attend
+		// over every cached position. The newest row is never masked, so
+		// the causal softmax degenerates to a plain one.
+		layerNormRow(h, x, l.N1.Gain.Data, l.N1.Bias.Data)
+		linearRowFwdInto(s.q, h, l.Self.WQ)
+		n := len(lc.selfK)
+		lc.selfK = lc.selfK[:n+dim]
+		linearRowFwdInto(lc.selfK[n:], h, l.Self.WK)
+		lc.selfV = lc.selfV[:n+dim]
+		linearRowFwdInto(lc.selfV[n:], h, l.Self.WV)
+		attendRowInto(s.attn, s.scores, s.q, lc.selfK, lc.selfV, pos+1, l.Self)
+		linearRowFwdInto(s.o, s.attn, l.Self.WO)
+		for j := range x {
+			x[j] += s.o[j]
+		}
+
+		// Cross attention over the cached memory projections.
+		layerNormRow(h, x, l.N2.Gain.Data, l.N2.Bias.Data)
+		linearRowFwdInto(s.q, h, l.Cross.WQ)
+		attendRowInto(s.attn, s.scores, s.q, lc.crossK, lc.crossV, d.memR, l.Cross)
+		linearRowFwdInto(s.o, s.attn, l.Cross.WO)
+		for j := range x {
+			x[j] += s.o[j]
+		}
+
+		// Position-wise feed-forward.
+		layerNormRow(h, x, l.N3.Gain.Data, l.N3.Bias.Data)
+		f := s.f[:l.FF.In.W.C]
+		linearRowFwdInto(f, h, l.FF.In)
+		geluRow(f)
+		linearRowFwdInto(s.o, f, l.FF.Out)
+		for j := range x {
+			x[j] += s.o[j]
+		}
+	}
+
+	layerNormRow(s.st, x, t.NormD.Gain.Data, t.NormD.Bias.Data)
+
+	// Tied output projection against the cached Dim×Vocab transpose:
+	// logits[j] = Σ_p st[p]·Embed[j][p], accumulated in the same p-outer
+	// order MatMul(states, Transpose(Embed)) uses, but reading the
+	// embedding row-contiguously.
+	logits := s.logits
+	for j := range logits {
+		logits[j] = 0
+	}
+	mulRowsInto(logits, s.st, t.embedT(), dim, t.Cfg.Vocab, t.Cfg.Vocab, 0)
+	d.pos++
+	return logits
+}
+
+// forwardEncode mirrors Encode without recording a tape: same kernels,
+// same op order, no gradient buffers. Returns the memory as a flat
+// len(input)×Dim row-major slice.
+func (t *Transformer) forwardEncode(input []int) []float32 {
+	input = t.clampSeq(input)
+	dim := t.Cfg.Dim
+	n := len(input)
+	x := make([]float32, n*dim)
+	for i, tok := range input {
+		er := t.Embed.Row(tok)
+		pr := t.PosEnc.Row(i)
+		row := x[i*dim : (i+1)*dim]
+		for j := range row {
+			row[j] = er[j] + pr[j]
+		}
+	}
+	h := make([]float32, n*dim)
+	for _, l := range t.Enc {
+		layerNormRows(h, x, n, l.N1.Gain.Data, l.N1.Bias.Data)
+		attn := attendRows(h, h, n, n, l.Attn)
+		so := linearRowsFwd(attn, n, l.Attn.WO)
+		for j := range x {
+			x[j] += so[j]
+		}
+		layerNormRows(h, x, n, l.N2.Gain.Data, l.N2.Bias.Data)
+		f := linearRowsFwd(h, n, l.FF.In)
+		geluRow(f)
+		fo := linearRowsFwd(f, n, l.FF.Out)
+		for j := range x {
+			x[j] += fo[j]
+		}
+	}
+	out := make([]float32, n*dim)
+	layerNormRows(out, x, n, t.NormE.Gain.Data, t.NormE.Bias.Data)
+	return out
+}
+
+// --- forward-only kernels, each mirroring a Tape op's float order ---
+
+// mulRowsInto accumulates out[j] += a[p]·b[p*stride+off+j] for j < cols,
+// p < rows: one output row of matmul against a sub-matrix of b, with the
+// kernel's p-outer/j-inner order and zero-skip.
+func mulRowsInto(out, a, b []float32, rows, cols, stride, off int) {
+	for p := 0; p < rows; p++ {
+		av := a[p]
+		if av == 0 {
+			continue
+		}
+		axpy(out, b[p*stride+off:p*stride+off+cols], av)
+	}
+}
+
+// dotColumns accumulates out[j] += a[p]·b[j*stride+off+p] — a row times
+// the transpose of a sub-matrix of b, in matmul's p-outer/j-inner order
+// (the order MatMul(a, Transpose(b)) produces after materializing the
+// transpose).
+func dotColumns(out, a, b []float32, outer, rows, off, cols int) {
+	for p := 0; p < cols; p++ {
+		av := a[p]
+		if av == 0 {
+			continue
+		}
+		for j := 0; j < outer; j++ {
+			out[j] += av * b[j*rows+off+p]
+		}
+	}
+}
+
+// linearRowFwdInto computes x·W + b for one row into out, mirroring
+// Linear.Apply.
+func linearRowFwdInto(out, x []float32, l *Linear) {
+	for j := range out {
+		out[j] = 0
+	}
+	mulRowsInto(out, x, l.W.Data, l.W.R, l.W.C, l.W.C, 0)
+	for j := range out {
+		out[j] += l.B.Data[j]
+	}
+}
+
+// linearRowsFwd computes x·W + b for n rows of a flat row-major slice.
+func linearRowsFwd(x []float32, n int, l *Linear) []float32 {
+	out := make([]float32, n*l.W.C)
+	matmul(out, x, l.W.Data, n, l.W.R, l.W.C)
+	for i := 0; i < n; i++ {
+		row := out[i*l.W.C : (i+1)*l.W.C]
+		for j := range row {
+			row[j] += l.B.Data[j]
+		}
+	}
+	return out
+}
+
+// attendRowInto runs multi-head attention for a single query row over
+// ctxLen cached full-width K/V rows into out: per head, scores → scale →
+// softmax → weighted sum, written into the head's slice of the output
+// (the HConcat layout). scores is caller-provided scratch of at least
+// ctxLen elements.
+func attendRowInto(out, scores, q, k, v []float32, ctxLen int, m *MHA) {
+	dh := m.D / m.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	for j := range out {
+		out[j] = 0
+	}
+	scores = scores[:ctxLen]
+	for h := 0; h < m.Heads; h++ {
+		off := h * dh
+		for j := range scores {
+			scores[j] = 0
+		}
+		dotColumns(scores, q[off:off+dh], k, ctxLen, m.D, off, dh)
+		for j := range scores {
+			scores[j] *= scale
+		}
+		softmaxRow(scores)
+		mulRowsInto(out[off:off+dh], scores, v, ctxLen, dh, m.D, off)
+	}
+}
+
+// attendRows is attendRow over n query rows (the encoder's full
+// self-attention; no mask).
+func attendRows(q, kv []float32, n, ctxLen int, m *MHA) []float32 {
+	qp := linearRowsFwd(q, n, m.WQ)
+	kp := linearRowsFwd(kv, ctxLen, m.WK)
+	vp := linearRowsFwd(kv, ctxLen, m.WV)
+	dh := m.D / m.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	out := make([]float32, n*m.D)
+	scores := make([]float32, ctxLen)
+	for h := 0; h < m.Heads; h++ {
+		off := h * dh
+		for i := 0; i < n; i++ {
+			for j := range scores {
+				scores[j] = 0
+			}
+			dotColumns(scores, qp[i*m.D+off:i*m.D+off+dh], kp, ctxLen, m.D, off, dh)
+			for j := range scores {
+				scores[j] *= scale
+			}
+			softmaxRow(scores)
+			mulRowsInto(out[i*m.D+off:i*m.D+off+dh], scores, vp, ctxLen, dh, m.D, off)
+		}
+	}
+	return out
+}
+
+// layerNormRow mirrors LayerNorm's forward pass for one row.
+func layerNormRow(dst, src, gain, bias []float32) {
+	const eps = 1e-5
+	var mean float32
+	for _, v := range src {
+		mean += v
+	}
+	mean /= float32(len(src))
+	var vr float32
+	for _, v := range src {
+		d := v - mean
+		vr += d * d
+	}
+	vr /= float32(len(src))
+	is := float32(1 / math.Sqrt(float64(vr)+eps))
+	for j, v := range src {
+		dst[j] = (v-mean)*is*gain[j] + bias[j]
+	}
+}
+
+// layerNormRows applies layerNormRow to n rows of a flat slice.
+func layerNormRows(dst, src []float32, n int, gain, bias []float32) {
+	c := len(gain)
+	for i := 0; i < n; i++ {
+		layerNormRow(dst[i*c:(i+1)*c], src[i*c:(i+1)*c], gain, bias)
+	}
+}
+
+// softmaxRow mirrors Softmax's forward pass for one unmasked row.
+func softmaxRow(row []float32) {
+	maxv := float32(math.Inf(-1))
+	for _, v := range row {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float32
+	for j, v := range row {
+		e := float32(math.Exp(float64(v - maxv)))
+		row[j] = e
+		sum += e
+	}
+	if sum > 0 {
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// geluRow mirrors GELU's forward pass in place.
+func geluRow(xs []float32) {
+	const c0 = 0.7978845608028654 // sqrt(2/pi)
+	for i, v := range xs {
+		x := float64(v)
+		xs[i] = float32(0.5 * x * (1 + math.Tanh(c0*(x+0.044715*x*x*x))))
+	}
+}

@@ -171,10 +171,7 @@ func matmul(out, a, b []float32, r, k, c int) {
 			if av == 0 {
 				continue
 			}
-			brow := b[p*c : (p+1)*c]
-			for j := range brow {
-				orow[j] += av * brow[j]
-			}
+			axpy(orow, b[p*c:(p+1)*c], av)
 		}
 	}
 }
@@ -205,10 +202,7 @@ func matmulTN(dst, a, b []float32, r, r2, c int) {
 			if av == 0 {
 				continue
 			}
-			drow := dst[i*c : (i+1)*c]
-			for j := range brow {
-				drow[j] += av * brow[j]
-			}
+			axpy(dst[i*c:(i+1)*c], brow, av)
 		}
 	}
 }
@@ -255,8 +249,20 @@ func (tp *Tape) Add(a, b *Tensor) *Tensor {
 	}
 }
 
+// axpy computes dst[i] += alpha·src[i]. The 4-way unroll only widens
+// the loop body — each element still receives exactly one += per call,
+// so the accumulation order (and therefore the float32 result) is
+// unchanged while the independent lanes overlap in the pipeline.
 func axpy(dst, src []float32, alpha float32) {
-	for i := range dst {
+	src = src[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < len(dst); i++ {
 		dst[i] += alpha * src[i]
 	}
 }

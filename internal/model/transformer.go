@@ -41,6 +41,39 @@ type Transformer struct {
 	NormD  *Norm
 
 	params []*Tensor
+
+	// embT lazily caches Embed transposed to Dim×Vocab so the incremental
+	// decoder's logits read the embedding row-contiguously instead of
+	// column-striding through it once per step. Training mutates Embed in
+	// place, so FitContext invalidates the cache when it returns.
+	embT struct {
+		once sync.Once
+		data []float32
+	}
+}
+
+// embedT returns the cached Dim×Vocab transpose of Embed, building it on
+// first use. Safe for concurrent use by generation workers.
+func (t *Transformer) embedT() []float32 {
+	t.embT.once.Do(func() {
+		d, v := t.Cfg.Dim, t.Cfg.Vocab
+		tr := make([]float32, d*v)
+		for j := 0; j < v; j++ {
+			row := t.Embed.Data[j*d : (j+1)*d]
+			for p, val := range row {
+				tr[p*v+j] = val
+			}
+		}
+		t.embT.data = tr
+	})
+	return t.embT.data
+}
+
+// invalidateEmbT drops the transposed-embedding cache. Called from the
+// training loop's single-threaded boundary; must not race with Step.
+func (t *Transformer) invalidateEmbT() {
+	t.embT.once = sync.Once{}
+	t.embT.data = nil
 }
 
 // NewTransformer allocates a model.
@@ -138,8 +171,31 @@ func (t *Transformer) Loss(tp *Tape, input, output []int) *Tensor {
 	return tp.CrossEntropy(logits, targets)
 }
 
-// Generate decodes greedily from input, up to maxLen output pieces.
+// Generate decodes greedily from input, up to maxLen output pieces. It
+// uses the KV-cached incremental decoder; outputs are bit-identical to
+// GenerateUncached (enforced by TestGenerateCachedMatchesUncached).
 func (t *Transformer) Generate(input []int, maxLen int) []int {
+	var out []int
+	if maxLen < 1 || t.Cfg.MaxSeq < 2 {
+		return out
+	}
+	d := t.NewIncrementalDecoder(input)
+	last := BOS
+	for len(out) < maxLen && len(out)+1 < t.Cfg.MaxSeq {
+		next := argmax(d.Step(last))
+		if next == EOS {
+			break
+		}
+		out = append(out, next)
+		last = next
+	}
+	return out
+}
+
+// GenerateUncached is the reference greedy decode: it re-runs the full
+// decoder stack over the whole prefix at every step. Kept as the ground
+// truth the cached path is differentially tested against.
+func (t *Transformer) GenerateUncached(input []int, maxLen int) []int {
 	tp := NewTape()
 	mem := t.Encode(tp, input)
 	prefix := []int{BOS}
@@ -166,7 +222,32 @@ func (tp *Tape) decodeOnce(t *Transformer, prefix []int, mem *Tensor) *Tensor {
 
 // GenerateScored decodes greedily and also returns the mean log
 // probability of the emitted pieces (a sequence-level model confidence).
+// Uses the KV-cached decoder; bit-identical to GenerateScoredUncached.
 func (t *Transformer) GenerateScored(input []int, maxLen int) ([]int, float64) {
+	var out []int
+	var logp float64
+	if maxLen < 1 || t.Cfg.MaxSeq < 2 {
+		return out, 0
+	}
+	d := t.NewIncrementalDecoder(input)
+	last := BOS
+	for len(out) < maxLen && len(out)+1 < t.Cfg.MaxSeq {
+		row := d.Step(last)
+		next := argmax(row)
+		logp += logProb(row, next)
+		if next == EOS {
+			break
+		}
+		out = append(out, next)
+		last = next
+	}
+	n := len(out) + 1
+	return out, logp / float64(n)
+}
+
+// GenerateScoredUncached is the reference scored greedy decode (see
+// GenerateUncached).
+func (t *Transformer) GenerateScoredUncached(input []int, maxLen int) ([]int, float64) {
 	tp := NewTape()
 	mem := t.Encode(tp, input)
 	prefix := []int{BOS}
@@ -235,7 +316,6 @@ func ExactMatch(m Seq2Seq, samples []Sample, maxLen int) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
-	type result struct{ ok bool }
 	results := make([]bool, len(samples))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.NumCPU())

@@ -3,6 +3,7 @@ package tablegen
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"vega/internal/cpp"
 )
@@ -14,7 +15,12 @@ import (
 type SourceTree struct {
 	files map[string]string // path -> content
 
-	// lazily built indexes
+	// Lazily built indexes, guarded by mu: queries may arrive from
+	// Stage 3's concurrent generation workers, and the first one to need
+	// an index builds it. Once assigned the maps are read-only (Add
+	// replaces them wholesale), so queries after the build need no lock —
+	// the build's mutex release publishes the maps.
+	mu      sync.Mutex
 	tokens  map[string]map[string]bool // path -> token set
 	assigns map[string][]Assignment    // path -> assignments
 	enums   map[string][]Enum          // path -> enums
@@ -34,8 +40,12 @@ func NewSourceTree() *SourceTree {
 	return &SourceTree{files: make(map[string]string)}
 }
 
-// Add inserts or replaces a file. Indexes are invalidated.
+// Add inserts or replaces a file. Indexes are invalidated. Not safe to
+// call concurrently with queries — trees are built up front and read
+// from then on.
 func (t *SourceTree) Add(path, content string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.files[path] = content
 	t.tokens, t.assigns, t.enums = nil, nil, nil
 }
@@ -73,10 +83,12 @@ func (t *SourceTree) PathsUnder(dirs []string) []string {
 }
 
 func (t *SourceTree) buildTokenIndex() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.tokens != nil {
 		return
 	}
-	t.tokens = make(map[string]map[string]bool, len(t.files))
+	tokens := make(map[string]map[string]bool, len(t.files))
 	for p, c := range t.files {
 		set := make(map[string]bool)
 		toks, err := cpp.Lex(c)
@@ -96,8 +108,9 @@ func (t *SourceTree) buildTokenIndex() {
 				}
 			}
 		}
-		t.tokens[p] = set
+		tokens[p] = set
 	}
+	t.tokens = tokens
 }
 
 // FindToken returns the sorted paths under dirs whose token stream
@@ -119,13 +132,16 @@ func (t *SourceTree) HasToken(tok string, dirs []string) bool {
 }
 
 func (t *SourceTree) buildAssignIndex() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.assigns != nil {
 		return
 	}
-	t.assigns = make(map[string][]Assignment, len(t.files))
+	assigns := make(map[string][]Assignment, len(t.files))
 	for p, c := range t.files {
-		t.assigns[p] = scanAssignments(p, c)
+		assigns[p] = scanAssignments(p, c)
 	}
+	t.assigns = assigns
 }
 
 // scanAssignments finds "ident = value" pairs token-wise. String RHSes are
@@ -220,10 +236,12 @@ func (t *SourceTree) AssignmentsUnder(dirs []string) []Assignment {
 }
 
 func (t *SourceTree) buildEnumIndex() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.enums != nil {
 		return
 	}
-	t.enums = make(map[string][]Enum, len(t.files))
+	enums := make(map[string][]Enum, len(t.files))
 	for p, c := range t.files {
 		if !strings.HasSuffix(p, ".h") && !strings.HasSuffix(p, ".def") {
 			continue
@@ -257,8 +275,9 @@ func (t *SourceTree) buildEnumIndex() {
 				es = append(es, synth...)
 			}
 		}
-		t.enums[p] = es
+		enums[p] = es
 	}
+	t.enums = enums
 }
 
 // EnumsUnder returns all enums declared in headers under dirs, with the
