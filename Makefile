@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check lint vet fmt-check test test-race build bench
+.PHONY: check lint vet fmt-check test test-race obs-race build bench
 
-check: lint test-race
+check: lint obs-race test-race
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,12 @@ test:
 
 test-race:
 	$(GO) test -race -timeout 45m ./...
+
+# Fast, focused race check on the observability layer: its counters and
+# span emission are exercised from every worker goroutine, so this suite
+# fails first (and in seconds) when an instrument loses atomicity.
+obs-race:
+	$(GO) test -race ./internal/obs
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

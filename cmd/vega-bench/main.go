@@ -21,6 +21,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -29,6 +31,7 @@ import (
 	"vega/internal/corpus"
 	"vega/internal/eval"
 	"vega/internal/generate"
+	"vega/internal/obs"
 	"vega/internal/template"
 )
 
@@ -40,11 +43,32 @@ var (
 	fast    = flag.Bool("fast", false, "reduced budgets everywhere (smoke run)")
 	quiet   = flag.Bool("quiet", false, "suppress epoch logs")
 	workers = flag.Int("workers", 0, "parallel generation workers (0 = NumCPU); output is identical for any count")
+	metrics = flag.String("metrics", "", "write stage spans and a metric snapshot to this JSON-lines file")
+	pprofAt = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 )
 
 func main() {
 	flag.Parse()
-	h := &harness{start: time.Now()}
+	// The harness always records into an in-memory sink — fig7 prints
+	// its timing rows from there — and tees to a JSONL file on -metrics.
+	mem := &obs.MemSink{}
+	sinks := []obs.Sink{mem}
+	if *metrics != "" {
+		jl, err := obs.NewJSONLSink(*metrics)
+		check(err)
+		sinks = append(sinks, jl)
+	}
+	o := obs.New(obs.Multi(sinks...))
+	defer o.Close()
+	if *pprofAt != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAt, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "vega-bench: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAt)
+	}
+	h := &harness{start: time.Now(), obs: o, mem: mem}
 	exps := map[string]func(*harness){
 		"fig6":              runFig6,
 		"fig7":              runFig7,
@@ -82,12 +106,23 @@ func main() {
 // harness lazily builds and caches the expensive shared state.
 type harness struct {
 	start     time.Time
+	obs       *obs.Obs
+	mem       *obs.MemSink
 	c         *corpus.Corpus
 	p         *core.Pipeline
 	trainRes  *core.TrainResult
 	gens      map[string]*generate.Backend
 	evals     map[string]*eval.BackendEval
 	templates map[string]*template.FunctionTemplate
+}
+
+// moduleSeconds reads one Fig. 7 cell from the metrics sink: the
+// gen.seconds.<target>.<module> counter the Stage 3 worker pool
+// aggregates its per-function decode durations into.
+func (h *harness) moduleSeconds(target, module string) (float64, bool) {
+	h.obs.Flush()
+	m, ok := h.mem.Metric("gen.seconds." + target + "." + module)
+	return m.Value, ok
 }
 
 func (h *harness) corpus() *corpus.Corpus {
@@ -105,6 +140,7 @@ func (h *harness) config() core.Config {
 	cfg.Train.Epochs = *epochs
 	cfg.MaxSamples = *samples
 	cfg.Workers = *workers
+	cfg.Obs = h.obs
 	if *fast {
 		cfg.Train.Epochs = 3
 		cfg.MaxSamples = 600

@@ -8,18 +8,26 @@
 //
 //	vega -target RISCV [-epochs 14] [-samples 2600] [-arch transformer]
 //	     [-out generated/] [-seed 1] [-quiet] [-timeout 10m]
+//	     [-metrics out.jsonl] [-pprof localhost:6060]
 //
 // The run honors a deadline (-timeout) and Ctrl-C: a canceled training
 // run reports the epochs that finished; a canceled generation run still
 // writes the functions generated so far, marked partial. Fault-injection
 // points for exercising these paths are armed via VEGA_FAULTS (see
 // README.md).
+//
+// Observability: -metrics streams every stage span and a final metric
+// snapshot to a JSON-lines file (see DESIGN.md "Observability");
+// -pprof serves net/http/pprof on the given address for live CPU/heap
+// profiling of a long run.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -28,6 +36,7 @@ import (
 	"vega/internal/core"
 	"vega/internal/corpus"
 	"vega/internal/eval"
+	"vega/internal/obs"
 	"vega/internal/template"
 )
 
@@ -45,12 +54,31 @@ func main() {
 		loadCk  = flag.String("load", "", "load a model checkpoint instead of training")
 		timeout = flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 		workers = flag.Int("workers", 0, "parallel generation workers (0 = NumCPU); output is identical for any count")
+		metrics = flag.String("metrics", "", "write stage spans and a metric snapshot to this JSON-lines file")
+		pprofAt = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	if corpus.FindTarget(*target) == nil {
 		fmt.Fprintf(os.Stderr, "vega: unknown target %q\n", *target)
 		os.Exit(2)
+	}
+
+	var o *obs.Obs
+	if *metrics != "" {
+		sink, err := obs.NewJSONLSink(*metrics)
+		check(err)
+		o = obs.New(sink)
+		defer o.Close()
+	}
+	if *pprofAt != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.ListenAndServe(*pprofAt, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "vega: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAt)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -72,6 +100,7 @@ func main() {
 	cfg.MaxSamples = *samples
 	cfg.Arch = *arch
 	cfg.Workers = *workers
+	cfg.Obs = o
 	if !*quiet {
 		cfg.Train.Verbose = func(e int, l float64) {
 			fmt.Printf("  epoch %2d  loss %.4f  (%s)\n", e, l, time.Since(start).Round(time.Second))

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"vega/internal/corpus"
+	"vega/internal/model"
+	"vega/internal/obs"
+)
+
+// subCorpus clones the shared corpus down to the first n non-eval
+// backends, sharing the rendered source tree — the same trick
+// AdoptBackend uses — so split behaviour on small fleets is testable
+// without re-rendering LLVM.
+func subCorpus(t *testing.T, n int) *corpus.Corpus {
+	t.Helper()
+	full := testCorpus(t)
+	sub := &corpus.Corpus{Tree: full.Tree, Backends: map[string]*corpus.Backend{}}
+	for _, ts := range full.Targets {
+		if ts.Eval {
+			continue
+		}
+		if len(sub.Targets) == n {
+			break
+		}
+		sub.Targets = append(sub.Targets, ts)
+		sub.Backends[ts.Name] = full.Backends[ts.Name]
+	}
+	if len(sub.Targets) != n {
+		t.Fatalf("corpus has only %d training backends, need %d", len(sub.Targets), n)
+	}
+	return sub
+}
+
+// The backend-based split used to compute its cut with no floor:
+// TrainFraction 0.1 on a small fleet truncated to cut 0 (nothing
+// trains) and 1.0 gave cut == len (nothing verifies) — both produced a
+// pipeline that failed much later, deep in Stage 2. Now every fleet of
+// ≥ 2 splits with both sides populated, and a one-backend fleet is a
+// typed error at New.
+func TestBackendSplitDegenerateFleets(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.SplitByBackend = true
+	if _, err := New(subCorpus(t, 1), cfg); !errors.Is(err, ErrDegenerateSplit) {
+		t.Errorf("fleet of 1: err = %v, want ErrDegenerateSplit", err)
+	}
+
+	for n := 2; n <= 4; n++ {
+		for _, frac := range []float64{0.1, 0.75, 1.0} {
+			cfg := tinyConfig()
+			cfg.SplitByBackend = true
+			cfg.TrainFraction = frac
+			p, err := New(subCorpus(t, n), cfg)
+			if err != nil {
+				t.Errorf("fleet %d, fraction %.2f: %v", n, frac, err)
+				continue
+			}
+			if len(p.TrainFns) == 0 || len(p.VerifyFns) == 0 {
+				t.Errorf("fleet %d, fraction %.2f: %d train / %d verify functions",
+					n, frac, len(p.TrainFns), len(p.VerifyFns))
+			}
+		}
+	}
+}
+
+// VerifyCap 0 used to be rewritten to 400 inside TrainContext, making
+// "verify on the whole 25% split" inexpressible. It now follows the
+// MaxSamples convention: 0 or negative bounds nothing, and the applied
+// cap is visible on the verify.cap_applied gauge.
+func TestVerifyCapConvention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	base := tinyConfig()
+	base.Train.Epochs = 1
+	base.MaxSamples = 12
+	base.MaxOutPieces = 4 // keeps the uncapped exact-match pass cheap
+
+	// The uncapped verify count, computed without training: if it does
+	// not exceed the old hardwired 400 the regression would be invisible.
+	ref, err := New(testCorpus(t), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Vocab = model.BuildVocabExtra(ref.trainingSequences(), 2, ref.forceCharNames(), markerTokens)
+	uncapped := len(ref.dedupAndCap(ref.samplesForSplit(ref.VerifyFns), 0, base.Seed+2))
+	if uncapped <= 400 {
+		t.Fatalf("test premise broken: uncapped verify split has %d samples, need > 400", uncapped)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		cap   int
+		want  int
+		gauge float64
+	}{
+		{"zero is unlimited", 0, uncapped, 0},
+		{"negative is unlimited", -3, uncapped, 0},
+		{"explicit cap holds", 10, 10, 10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mem := &obs.MemSink{}
+			cfg := base
+			cfg.VerifyCap = tc.cap
+			cfg.Obs = obs.New(mem)
+			p, err := New(testCorpus(t), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.Train()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.VerifySamples != tc.want {
+				t.Errorf("VerifyCap %d: verified %d samples, want %d",
+					tc.cap, res.VerifySamples, tc.want)
+			}
+			cfg.Obs.Flush()
+			if g, ok := mem.Metric("verify.cap_applied"); !ok || g.Value != tc.gauge {
+				t.Errorf("verify.cap_applied = %v (found=%v), want %v", g.Value, ok, tc.gauge)
+			}
+		})
+	}
+}
+
+// stubBeamModel is a Seq2Seq whose beam search returns whatever the test
+// plants — the real transformer's BeamGenerate structurally always
+// returns at least one beam, so the empty-beam degradation is only
+// reachable through the beamSearcher seam.
+type stubBeamModel struct {
+	beams  []model.Beam
+	greedy []int
+}
+
+func (s *stubBeamModel) Params() []*model.Tensor { return nil }
+func (s *stubBeamModel) Loss(tp *model.Tape, input, output []int) *model.Tensor {
+	return nil
+}
+func (s *stubBeamModel) Generate(input []int, maxLen int) []int { return s.greedy }
+func (s *stubBeamModel) BeamGenerate(input []int, maxLen, width int) []model.Beam {
+	return s.beams
+}
+
+// An empty beam result used to fall through to Generate with no trace —
+// indistinguishable from a deliberate greedy run. It now routes through
+// the same BeamFallback/log-once path as the wrong-architecture
+// downgrade and counts on gen.beam_empty.
+func TestDecodeEmptyBeamFallsBackToGreedy(t *testing.T) {
+	mem := &obs.MemSink{}
+	cfg := tinyConfig()
+	cfg.BeamWidth = 4
+	cfg.Obs = obs.New(mem)
+	p, err := New(testCorpus(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Model = &stubBeamModel{greedy: []int{41, 7}}
+
+	got := p.decode([]int{model.CLS})
+	if !reflect.DeepEqual(got, []int{41, 7}) {
+		t.Errorf("decode = %v, want the greedy result [41 7]", got)
+	}
+	if !p.BeamFallback {
+		t.Error("BeamFallback not set after an empty beam search")
+	}
+	cfg.Obs.Flush()
+	if m, _ := mem.Metric("gen.beam_empty"); m.Value != 1 {
+		t.Errorf("gen.beam_empty = %v, want 1", m.Value)
+	}
+	if m, _ := mem.Metric("gen.beam_fallbacks"); m.Value != 0 {
+		t.Errorf("gen.beam_fallbacks = %v, want 0 (arch path must not fire)", m.Value)
+	}
+}
+
+// A populated beam result is still used as-is: no fallback, no counter.
+func TestDecodeBeamUsedWhenPresent(t *testing.T) {
+	mem := &obs.MemSink{}
+	cfg := tinyConfig()
+	cfg.BeamWidth = 4
+	cfg.Obs = obs.New(mem)
+	p, err := New(testCorpus(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Model = &stubBeamModel{beams: []model.Beam{{IDs: []int{9, 9}}}, greedy: []int{1}}
+
+	if got := p.decode([]int{model.CLS}); !reflect.DeepEqual(got, []int{9, 9}) {
+		t.Errorf("decode = %v, want the top beam [9 9]", got)
+	}
+	if p.BeamFallback {
+		t.Error("BeamFallback set despite a non-empty beam result")
+	}
+	cfg.Obs.Flush()
+	if m, _ := mem.Metric("gen.beam_empty"); m.Value != 0 {
+		t.Errorf("gen.beam_empty = %v, want 0", m.Value)
+	}
+}
+
+// The pre-training curriculum cap used to truncate silently. The drop
+// is now counted on pretrain.samples_dropped (and logged once).
+func TestPretrainCapNotSilent(t *testing.T) {
+	mem := &obs.MemSink{}
+	cfg := tinyConfig()
+	cfg.Obs = obs.New(mem)
+	p, err := New(testCorpus(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Vocab = model.BuildVocabExtra(p.trainingSequences(), 2, p.forceCharNames(), markerTokens)
+
+	pre := p.pretrainSamples()
+	if len(pre) != pretrainCap {
+		t.Fatalf("pretrain samples = %d, want the cap %d (full corpus must overflow it)",
+			len(pre), pretrainCap)
+	}
+	cfg.Obs.Flush()
+	m, ok := mem.Metric("pretrain.samples_dropped")
+	if !ok || m.Value <= 0 {
+		t.Fatalf("pretrain.samples_dropped = %v (found=%v), want > 0", m.Value, ok)
+	}
+	dropped := m.Value
+
+	// A second build drops the same count again; the counter accumulates.
+	p.pretrainSamples()
+	cfg.Obs.Flush()
+	if m, _ := mem.Metric("pretrain.samples_dropped"); m.Value != 2*dropped {
+		t.Errorf("counter after second build = %v, want %v", m.Value, 2*dropped)
+	}
+}
+
+// The acceptance bar for the observability layer: one tiny end-to-end
+// run (all three stages, pre-training on) must emit at least 20
+// distinct metric and span names into the sink.
+func TestObservabilityCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	mem := &obs.MemSink{}
+	cfg := tinyConfig()
+	cfg.Train.Epochs = 1
+	cfg.MaxSamples = 12
+	cfg.MaxOutPieces = 4
+	cfg.VerifyCap = 10
+	cfg.Pretrain = true
+	cfg.PretrainEpochs = 1
+	cfg.Obs = obs.New(mem)
+	p, err := New(subCorpus(t, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train(); err != nil {
+		t.Fatal(err)
+	}
+	p.GenerateBackend("RISCV")
+	cfg.Obs.Flush()
+
+	names := map[string]bool{}
+	for _, m := range mem.Metrics() {
+		names["metric:"+m.Name] = true
+	}
+	for _, s := range mem.Spans() {
+		names["span:"+s.Name] = true
+	}
+	if len(names) < 20 {
+		t.Errorf("only %d distinct metric/span names emitted: %v", len(names), names)
+	}
+}

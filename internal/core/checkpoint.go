@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"vega/internal/faultinject"
 	"vega/internal/model"
+	"vega/internal/obs"
 )
 
 // Checkpoint files are self-verifying: a fixed header carries a magic
@@ -52,6 +54,8 @@ type checkpoint struct {
 
 // Save writes the trained model and vocabulary to path.
 func (p *Pipeline) Save(path string) error {
+	span := p.Cfg.Obs.StartSpan("checkpoint/save", obs.String("path", path))
+	defer span.End()
 	if p.Model == nil || p.Vocab == nil {
 		return fmt.Errorf("core: nothing trained to save")
 	}
@@ -66,14 +70,14 @@ func (p *Pipeline) Save(path string) error {
 	for _, t := range p.Model.Params() {
 		ck.Params = append(ck.Params, append([]float32{}, t.Data...))
 	}
-	return writeCheckpointFile(path, &ck)
+	return writeCheckpointFile(path, &ck, p.Cfg.Obs)
 }
 
 // writeCheckpointFile encodes ck and writes it atomically: the bytes land
 // in a temp file in the destination directory, are fsynced, and only then
 // renamed over path, so a crash mid-write leaves any previous checkpoint
 // intact.
-func writeCheckpointFile(path string, ck *checkpoint) error {
+func writeCheckpointFile(path string, ck *checkpoint, o *obs.Obs) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
 		return fmt.Errorf("core: save: %w", err)
@@ -96,10 +100,13 @@ func writeCheckpointFile(path string, ck *checkpoint) error {
 		tmp.Close()
 		return fmt.Errorf("core: save: %w", err)
 	}
+	fsyncStart := time.Now()
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return fmt.Errorf("core: save: %w", err)
 	}
+	o.Histogram("ckpt.fsync_seconds").Observe(time.Since(fsyncStart).Seconds())
+	o.Counter("ckpt.bytes_written").Add(float64(len(buf)))
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
@@ -172,9 +179,16 @@ func readCheckpointFile(path string) (*checkpoint, error) {
 // Load restores a trained model and vocabulary saved with Save. The
 // pipeline must have been built over the same corpus with the same seed.
 func (p *Pipeline) Load(path string) error {
+	span := p.Cfg.Obs.StartSpan("checkpoint/load", obs.String("path", path))
+	defer span.End()
 	ck, err := readCheckpointFile(path)
 	if err != nil {
 		return err
+	}
+	if o := p.Cfg.Obs; o != nil {
+		if fi, statErr := os.Stat(path); statErr == nil {
+			o.Counter("ckpt.bytes_read").Add(float64(fi.Size()))
+		}
 	}
 	vocab := model.VocabFromPieces(ck.Pieces, ck.ForceChar)
 	if vocab.Size() != ck.ModelCfg.Vocab {

@@ -174,7 +174,7 @@ func TestCheckpointWrongArch(t *testing.T) {
 		tampered := *ck
 		tampered.Arch = arch
 		tpath := filepath.Join(t.TempDir(), "arch.vega")
-		if err := writeCheckpointFile(tpath, &tampered); err != nil {
+		if err := writeCheckpointFile(tpath, &tampered, nil); err != nil {
 			t.Fatal(err)
 		}
 		p, _ := New(testCorpus(t), tinyConfig())

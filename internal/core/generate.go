@@ -15,10 +15,39 @@ import (
 	"vega/internal/feature"
 	"vega/internal/generate"
 	"vega/internal/model"
+	"vega/internal/obs"
 	"vega/internal/template"
 )
 
 func joinTokens(toks []string) string { return template.JoinTokens(toks) }
+
+// genMetrics caches the Stage 3 instruments once per pipeline so the
+// per-row decode path never touches the metric registry's lock. Every
+// field is nil — and therefore a no-cost no-op — when no observer is
+// installed.
+type genMetrics struct {
+	functions     *obs.Counter   // gen.functions: interface functions decoded
+	decodeSeconds *obs.Histogram // gen.decode_seconds: per-function decode time
+	queueWait     *obs.Histogram // gen.queue_wait_seconds: pool start → task pickup
+	recovered     *obs.Counter   // gen.recovered_panics: functions salvaged by the panic boundary
+	beamFallbacks *obs.Counter   // gen.beam_fallbacks: beam requests served greedily (wrong arch)
+	beamEmpty     *obs.Counter   // gen.beam_empty: BeamGenerate returned zero beams
+	kvHits        *obs.Counter   // gen.kv_cache_hits: decodes served by the KV-cached decoder
+	kvMisses      *obs.Counter   // gen.kv_cache_misses: reference/uncached or non-transformer decodes
+}
+
+func newGenMetrics(o *obs.Obs) genMetrics {
+	return genMetrics{
+		functions:     o.Counter("gen.functions"),
+		decodeSeconds: o.Histogram("gen.decode_seconds"),
+		queueWait:     o.Histogram("gen.queue_wait_seconds"),
+		recovered:     o.Counter("gen.recovered_panics"),
+		beamFallbacks: o.Counter("gen.beam_fallbacks"),
+		beamEmpty:     o.Counter("gen.beam_empty"),
+		kvHits:        o.Counter("gen.kv_cache_hits"),
+		kvMisses:      o.Counter("gen.kv_cache_misses"),
+	}
+}
 
 // GenerateFunction runs Stage 3 for one interface function on a new
 // target: it resolves the target's property values from its description
@@ -54,37 +83,69 @@ func (p *Pipeline) GenerateFunction(g *Group, target string) (fn *generate.Funct
 	return fn
 }
 
-// decode runs the configured decoding strategy. Beam search needs the
-// transformer; any other architecture downgrades to greedy decoding and
-// says so once instead of silently ignoring the config. The test-only
-// uncachedDecode flag swaps in the reference full-prefix decoder so
-// differential tests can compare backends bit for bit.
+// beamSearcher is the decoding capability beam search requires. The
+// transformer implements it; the GRU and BERT baselines do not, and
+// tests stub it to exercise decode's degradation paths.
+type beamSearcher interface {
+	BeamGenerate(input []int, maxLen, width int) []model.Beam
+}
+
+// decode runs the configured decoding strategy. Beam search needs a
+// model that can beam-search (the transformer); any other architecture
+// downgrades to greedy decoding and says so once instead of silently
+// ignoring the config. A beam search that returns zero hypotheses
+// downgrades the same way — flagged via BeamFallback and the
+// gen.beam_empty counter, never silently. The test-only uncachedDecode
+// flag swaps in the reference full-prefix decoder so differential tests
+// can compare backends bit for bit.
 func (p *Pipeline) decode(inIDs []int) []int {
 	if p.Cfg.BeamWidth > 1 {
-		if t, ok := p.Model.(*model.Transformer); ok {
+		if bs, ok := p.Model.(beamSearcher); ok {
 			var beams []model.Beam
-			if p.uncachedDecode {
+			if t, isT := p.Model.(*model.Transformer); isT && p.uncachedDecode {
 				beams = t.BeamGenerateUncached(inIDs, p.Cfg.MaxOutPieces, p.Cfg.BeamWidth)
 			} else {
-				beams = t.BeamGenerate(inIDs, p.Cfg.MaxOutPieces, p.Cfg.BeamWidth)
+				beams = bs.BeamGenerate(inIDs, p.Cfg.MaxOutPieces, p.Cfg.BeamWidth)
 			}
 			if len(beams) > 0 {
+				if p.uncachedDecode {
+					p.gm.kvMisses.Inc()
+				} else {
+					p.gm.kvHits.Inc()
+				}
 				return beams[0].IDs
 			}
+			p.gm.beamEmpty.Inc()
+			p.fallBackToGreedy(fmt.Sprintf(
+				"BeamGenerate(width %d) returned no beams; decoding greedily", p.Cfg.BeamWidth))
 		} else {
-			p.beamWarn.Do(func() {
-				p.BeamFallback = true
-				log.Printf("core: BeamWidth %d needs the transformer; arch %q decodes greedily",
-					p.Cfg.BeamWidth, p.Cfg.Arch)
-			})
+			p.gm.beamFallbacks.Inc()
+			p.fallBackToGreedy(fmt.Sprintf(
+				"BeamWidth %d needs the transformer; arch %q decodes greedily",
+				p.Cfg.BeamWidth, p.Cfg.Arch))
 		}
 	}
 	if p.uncachedDecode {
 		if t, ok := p.Model.(*model.Transformer); ok {
+			p.gm.kvMisses.Inc()
 			return t.GenerateUncached(inIDs, p.Cfg.MaxOutPieces)
 		}
 	}
+	if _, ok := p.Model.(*model.Transformer); ok {
+		p.gm.kvHits.Inc() // greedy transformer decoding runs on the KV cache
+	} else {
+		p.gm.kvMisses.Inc()
+	}
 	return p.Model.Generate(inIDs, p.Cfg.MaxOutPieces)
+}
+
+// fallBackToGreedy marks the pipeline as beam-degraded and logs the
+// reason once — the shared path for both the wrong-architecture and the
+// empty-beam downgrades, so neither is ever indistinguishable from a
+// deliberate greedy run.
+func (p *Pipeline) fallBackToGreedy(reason string) {
+	p.BeamFallback = true
+	p.beamWarn.Do(func() { log.Printf("core: %s", reason) })
 }
 
 // decodeStatement reconstructs a statement from the model's decision
@@ -190,6 +251,9 @@ func (p *Pipeline) GenerateBackend(target string) *generate.Backend {
 //   - Cancellation is observed per task: workers stop picking up work,
 //     already-decoded functions are kept, and Partial is set.
 func (p *Pipeline) GenerateBackendContext(ctx context.Context, target string) *generate.Backend {
+	ctx = obs.With(ctx, p.Cfg.Obs)
+	ctx, span := obs.Start(ctx, "stage3/generate", obs.String("target", target))
+	defer span.End()
 	b := &generate.Backend{Target: target, Seconds: make(map[string]float64)}
 
 	// Build the work list in the serial output order. The injected
@@ -222,11 +286,13 @@ func (p *Pipeline) GenerateBackendContext(ctx context.Context, target string) *g
 		workers = len(tasks)
 	}
 
+	span.SetAttr(obs.Int("workers", workers), obs.Int("tasks", len(tasks)))
 	results := make([]*generate.Function, len(tasks))
 	durs := make([]float64, len(tasks))
 	var next int64
 	var canceled atomic.Bool
 	var wg sync.WaitGroup
+	poolStart := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -240,9 +306,18 @@ func (p *Pipeline) GenerateBackendContext(ctx context.Context, target string) *g
 					canceled.Store(true)
 					return
 				}
+				// Queue wait: every task is ready at pool start, so the
+				// gap to pickup measures pool starvation.
+				p.gm.queueWait.Observe(time.Since(poolStart).Seconds())
+				_, fnSpan := obs.Start(ctx, "stage3/function",
+					obs.String("func", tasks[i].g.Func.Name),
+					obs.String("module", tasks[i].module))
 				start := time.Now()
 				results[i] = p.GenerateFunction(tasks[i].g, target)
 				durs[i] = time.Since(start).Seconds()
+				fnSpan.End()
+				p.gm.functions.Inc()
+				p.gm.decodeSeconds.Observe(durs[i])
 			}
 		}()
 	}
@@ -251,15 +326,28 @@ func (p *Pipeline) GenerateBackendContext(ctx context.Context, target string) *g
 	if canceled.Load() || ctx.Err() != nil {
 		b.Partial = true
 	}
+	// Per-(target, module) decode-second counters feed Fig. 7 straight
+	// from the metrics sink; the instrument lookup is off the hot path.
+	o := p.Cfg.Obs
+	modSeconds := map[string]*obs.Counter{}
 	for i, fn := range results {
 		if fn == nil {
 			continue // task skipped after cancellation
 		}
 		if fn.Failed() {
 			b.Recovered++
+			p.gm.recovered.Inc()
 		}
 		b.Functions = append(b.Functions, fn)
 		b.Seconds[tasks[i].module] += durs[i]
+		if o != nil {
+			c, ok := modSeconds[tasks[i].module]
+			if !ok {
+				c = o.Counter("gen.seconds." + target + "." + tasks[i].module)
+				modSeconds[tasks[i].module] = c
+			}
+			c.Add(durs[i])
+		}
 	}
 	return b
 }

@@ -10,14 +10,22 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"vega/internal/corpus"
 	"vega/internal/feature"
 	"vega/internal/model"
+	"vega/internal/obs"
 	"vega/internal/template"
 )
+
+// ErrDegenerateSplit marks a train/verification split that leaves one
+// side empty — Stage 2 would train on zero samples or verify on none.
+// The backend-based split (§4.2 ablation) can hit this with small
+// fleets or extreme TrainFraction values; the per-group split cannot.
+var ErrDegenerateSplit = errors.New("core: degenerate train/verify split")
 
 // Config sizes the pipeline. Defaults are tuned for a single-core run of
 // the full benchmark harness; the paper-scale equivalents are recorded in
@@ -52,7 +60,9 @@ type Config struct {
 	Arch string
 	// MaxOutPieces caps decoded statement length.
 	MaxOutPieces int
-	// VerifyCap bounds the verification exact-match sample count.
+	// VerifyCap bounds the verification exact-match sample count, in
+	// the MaxSamples convention: 0 (or negative) bounds nothing.
+	// DefaultConfig applies the usual 400.
 	VerifyCap int
 	// BeamWidth > 1 enables beam-search decoding at generation time
 	// (transformer only); 0/1 is greedy.
@@ -62,6 +72,10 @@ type Config struct {
 	// after training). 0 or negative means runtime.NumCPU(). Output is
 	// deterministic and identical for any worker count.
 	Workers int
+	// Obs receives spans and metrics from every stage. nil (the
+	// default) disables observability entirely: instruments degrade to
+	// nil no-ops with no allocation or lock contention on any hot path.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns single-core-friendly settings.
@@ -111,8 +125,9 @@ type Pipeline struct {
 	VerifyFns map[string]bool
 
 	// BeamFallback is set (and logged once via beamWarn) when BeamWidth
-	// > 1 is configured but the architecture cannot beam-search, so
-	// decoding downgraded to greedy.
+	// > 1 is configured but decoding downgraded to greedy anyway —
+	// either the architecture cannot beam-search, or BeamGenerate
+	// returned zero hypotheses.
 	BeamFallback bool
 	beamWarn     sync.Once
 
@@ -121,6 +136,15 @@ type Pipeline struct {
 	// Test-only: the differential tests generate a backend both ways and
 	// require the bytes to match.
 	uncachedDecode bool
+
+	// gm caches the Stage 3 instruments so the per-row decode path
+	// never takes the registry lock; all fields are nil (inert) when
+	// Cfg.Obs is nil.
+	gm genMetrics
+
+	// pretrainWarn gates the once-per-pipeline log when the pre-training
+	// curriculum overflows pretrainCap.
+	pretrainWarn sync.Once
 }
 
 // New builds the pipeline through Stage 1 (templates + features) over the
@@ -132,7 +156,10 @@ func New(c *corpus.Corpus, cfg Config) (*Pipeline, error) {
 		Extractor: feature.NewExtractor(c.Tree, nil),
 		TrainFns:  make(map[string]bool),
 		VerifyFns: make(map[string]bool),
+		gm:        newGenMetrics(cfg.Obs),
 	}
+	o := cfg.Obs
+	span := o.StartSpan("stage1/templatize")
 	training := c.TrainingBackends()
 	for _, ifn := range corpus.AllFuncs() {
 		group := corpus.FunctionGroup(training, ifn.Name)
@@ -157,22 +184,46 @@ func New(c *corpus.Corpus, cfg Config) (*Pipeline, error) {
 		tf := p.Extractor.Select(ft, targets)
 		p.Groups = append(p.Groups, &Group{Func: ifn, FT: ft, TF: tf, Targets: targets})
 	}
-	p.split()
+	span.SetAttr(obs.Int("groups", len(p.Groups)))
+	span.End()
+	splitSpan := o.StartSpan("stage1/split")
+	err := p.split()
+	splitSpan.End()
+	if err != nil {
+		return nil, err
+	}
+	o.Gauge("stage1.groups").Set(float64(len(p.Groups)))
+	o.Gauge("split.train_functions").Set(float64(len(p.TrainFns)))
+	o.Gauge("split.verify_functions").Set(float64(len(p.VerifyFns)))
 	return p, nil
 }
 
 // split performs the 75/25 train/verification split, either per function
-// group (the paper's scheme) or per backend (the §4.2 ablation).
-func (p *Pipeline) split() {
+// group (the paper's scheme) or per backend (the §4.2 ablation). The
+// backend path clamps the cut like the per-group path does — at least
+// one backend trains, and at least one verifies when the fleet has two
+// or more — and reports ErrDegenerateSplit when no clamp can save it
+// (a one-backend fleet, or a fleet whose groups leave a side empty).
+func (p *Pipeline) split() error {
 	rng := newRNG(p.Cfg.Seed)
 	if p.Cfg.SplitByBackend {
 		var names []string
 		for _, b := range p.Corpus.TrainingBackends() {
 			names = append(names, b.Target.Name)
 		}
+		if len(names) < 2 {
+			return fmt.Errorf("%w: backend-based split needs ≥ 2 training backends, have %d",
+				ErrDegenerateSplit, len(names))
+		}
 		shuffled := append([]string{}, names...)
 		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
 		cut := int(float64(len(shuffled)) * p.Cfg.TrainFraction)
+		if cut < 1 {
+			cut = 1
+		}
+		if cut > len(shuffled)-1 {
+			cut = len(shuffled) - 1
+		}
 		trainSet := map[string]bool{}
 		for _, n := range shuffled[:cut] {
 			trainSet[n] = true
@@ -187,7 +238,11 @@ func (p *Pipeline) split() {
 				}
 			}
 		}
-		return
+		if len(p.TrainFns) == 0 || len(p.VerifyFns) == 0 {
+			return fmt.Errorf("%w: %d backend(s) split into %d train / %d verify functions",
+				ErrDegenerateSplit, len(names), len(p.TrainFns), len(p.VerifyFns))
+		}
+		return nil
 	}
 	for _, g := range p.Groups {
 		tgts := append([]string{}, g.Targets...)
@@ -205,6 +260,7 @@ func (p *Pipeline) split() {
 			}
 		}
 	}
+	return nil
 }
 
 // GroupByName returns the group for an interface function.

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"log"
 	"strings"
 
 	"vega/internal/model"
+	"vega/internal/obs"
 )
 
 // TrainResult reports Stage 2 outcomes.
@@ -42,8 +44,14 @@ func (p *Pipeline) Train() (*TrainResult, error) {
 // partial TrainResult (epochs completed so far) is returned alongside the
 // error so callers can salvage or report it.
 func (p *Pipeline) TrainContext(ctx context.Context) (*TrainResult, error) {
+	o := p.Cfg.Obs
+	ctx = obs.With(ctx, o)
+	ctx, span := obs.Start(ctx, "stage2/train")
+	defer span.End()
+
 	// Vocabulary over the training split only.
 	p.Vocab = model.BuildVocabExtra(p.trainingSequences(), 2, p.forceCharNames(), markerTokens)
+	o.Gauge("vocab.size").Set(float64(p.Vocab.Size()))
 
 	cfg := p.Cfg.Model
 	cfg.Vocab = p.Vocab.Size()
@@ -65,13 +73,17 @@ func (p *Pipeline) TrainContext(ctx context.Context) (*TrainResult, error) {
 	if t, ok := p.Model.(*model.Transformer); ok {
 		res.Params = t.NumParams()
 	}
+	o.Gauge("train.params").Set(float64(res.Params))
 
 	if p.Cfg.Pretrain && p.Cfg.PretrainEpochs > 0 {
 		pre := p.pretrainSamples()
+		o.Gauge("pretrain.samples").Set(float64(len(pre)))
 		opt := p.Cfg.Train
 		opt.Epochs = p.Cfg.PretrainEpochs
 		opt.MinLoss = 0
-		stats, err := model.FitContext(ctx, p.Model, pre, opt)
+		preCtx, preSpan := obs.Start(ctx, "stage2/pretrain", obs.Int("samples", len(pre)))
+		stats, err := model.FitContext(preCtx, p.Model, pre, opt)
+		preSpan.End()
 		res.PretrainLosses = stats.EpochLosses
 		res.RetriedEpochs += stats.RetriedEpochs
 		res.SkippedSamples += stats.SkippedSamples
@@ -84,7 +96,10 @@ func (p *Pipeline) TrainContext(ctx context.Context) (*TrainResult, error) {
 	all := append(p.samplesForSplit(p.TrainFns), p.absentSamples()...)
 	train := p.dedupAndCap(all, p.Cfg.MaxSamples, p.Cfg.Seed+1)
 	res.Samples = len(train)
-	stats, err := model.FitContext(ctx, p.Model, train, p.Cfg.Train)
+	o.Gauge("train.samples").Set(float64(len(train)))
+	fitCtx, fitSpan := obs.Start(ctx, "stage2/fit", obs.Int("samples", len(train)))
+	stats, err := model.FitContext(fitCtx, p.Model, train, p.Cfg.Train)
+	fitSpan.End()
 	res.EpochLosses = stats.EpochLosses
 	res.RetriedEpochs += stats.RetriedEpochs
 	res.SkippedSamples += stats.SkippedSamples
@@ -94,15 +109,25 @@ func (p *Pipeline) TrainContext(ctx context.Context) (*TrainResult, error) {
 	}
 
 	// Verification exact match on (a capped subset of) the 25% split.
+	// VerifyCap follows the MaxSamples convention: 0 or negative bounds
+	// nothing (the 400 default lives in DefaultConfig), so an explicit
+	// "verify on everything" run is expressible.
 	vcap := p.Cfg.VerifyCap
-	if vcap == 0 {
-		vcap = 400
-	}
+	o.Gauge("verify.cap_applied").Set(float64(max(vcap, 0))) // 0 = unlimited
 	verify := p.dedupAndCap(p.samplesForSplit(p.VerifyFns), vcap, p.Cfg.Seed+2)
 	res.VerifySamples = len(verify)
+	_, vSpan := obs.Start(ctx, "stage2/verify", obs.Int("samples", len(verify)))
 	res.VerifyExactMatch = model.ExactMatch(p.Model, verify, p.Cfg.MaxOutPieces)
+	vSpan.End()
+	o.Gauge("verify.samples").Set(float64(res.VerifySamples))
+	o.Gauge("verify.exact_match").Set(res.VerifyExactMatch)
 	return res, nil
 }
+
+// pretrainCap bounds the pre-training curriculum after shuffling. The
+// cap is never silent: hitting it logs once and counts the drop in the
+// pretrain.samples_dropped metric, so ablation runs can see it.
+const pretrainCap = 1600
 
 // pretrainSamples builds the pre-training curriculum that stands in for
 // UniXcoder's pre-training: (a) denoising — reconstruct each statement
@@ -164,8 +189,14 @@ func (p *Pipeline) pretrainSamples() []model.Sample {
 		}
 	}
 	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
-	if len(out) > 1600 {
-		out = out[:1600]
+	if len(out) > pretrainCap {
+		dropped := len(out) - pretrainCap
+		p.Cfg.Obs.Counter("pretrain.samples_dropped").Add(float64(dropped))
+		p.pretrainWarn.Do(func() {
+			log.Printf("core: pre-training curriculum capped at %d samples (%d dropped)",
+				pretrainCap, dropped)
+		})
+		out = out[:pretrainCap]
 	}
 	return out
 }

@@ -9,8 +9,10 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"vega/internal/faultinject"
+	"vega/internal/obs"
 )
 
 // ErrTrainingDiverged is returned by FitContext when an epoch keeps
@@ -89,6 +91,10 @@ func Fit(m Seq2Seq, samples []Sample, opt TrainOptions) []float64 {
 // ErrTrainingDiverged is returned. Cancellation is honored between
 // batches; the stats returned alongside ctx.Err() cover the epochs that
 // completed.
+//
+// When an observer is threaded through ctx (obs.With), the run emits a
+// fit/epoch span per completed epoch plus per-epoch loss/LR gauges and
+// retry/skip counters; without one every instrument is a nil no-op.
 func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptions) (FitStats, error) {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.NumCPU()
@@ -113,6 +119,17 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 	rng := rand.New(rand.NewSource(opt.Seed))
 	var gradMu sync.Mutex
 	var stats FitStats
+
+	// Instruments are fetched once per Fit so the epoch loop never takes
+	// the registry lock; all of them are inert nil no-ops without an
+	// observer in ctx.
+	o := obs.From(ctx)
+	epochC := o.Counter("fit.epochs")
+	lossG := o.Gauge("fit.loss")
+	lrG := o.Gauge("fit.lr")
+	retriedC := o.Counter("fit.retried_epochs")
+	skippedC := o.Counter("fit.skipped_samples")
+	epochH := o.Histogram("fit.epoch_seconds")
 
 	order := make([]int, len(samples))
 	for i := range order {
@@ -213,6 +230,8 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 		adamSnap := adam.snapshot()
 		attempt := 0
 		var mean float64
+		epochStart := time.Now()
+		_, epochSpan := obs.Start(ctx, "fit/epoch", obs.Int("epoch", epoch))
 		for {
 			if opt.LRDecay > 0 && opt.Epochs > 1 {
 				frac := float64(epoch) / float64(opt.Epochs-1)
@@ -220,6 +239,7 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 			} else {
 				adam.LR = opt.LR * retryScale
 			}
+			lrG.Set(adam.LR)
 			if faultinject.Should(faultinject.TrainNaN, strconv.Itoa(epoch)) {
 				params[0].Data[0] = float32(math.NaN())
 			}
@@ -231,7 +251,9 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 				// stay applied), so its skips count, but the unfinished
 				// epoch's mean is not reported.
 				stats.SkippedSamples += skipped
+				skippedC.Add(float64(skipped))
 				stats.Canceled = true
+				epochSpan.End()
 				return stats, err
 			}
 			bad := math.IsNaN(mean) || math.IsInf(mean, 0) || !paramsFinite(params)
@@ -240,6 +262,7 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 			}
 			if !bad {
 				stats.SkippedSamples += skipped
+				skippedC.Add(float64(skipped))
 				break
 			}
 			if attempt >= maxRetries {
@@ -247,8 +270,10 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 				// attempt's outcome, so its skips are part of the story
 				// the caller sees alongside ErrTrainingDiverged.
 				stats.SkippedSamples += skipped
+				skippedC.Add(float64(skipped))
 				restoreParamData(params, snap)
 				adam.restore(adamSnap)
+				epochSpan.End()
 				return stats, fmt.Errorf("%w: epoch %d mean loss %v after %d retries",
 					ErrTrainingDiverged, epoch, mean, attempt)
 			}
@@ -257,10 +282,16 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 			// when the epoch re-runs.
 			attempt++
 			stats.RetriedEpochs++
+			retriedC.Inc()
 			restoreParamData(params, snap)
 			adam.restore(adamSnap)
 			retryScale *= retryDecay
 		}
+		epochSpan.SetAttr(obs.Float("loss", mean))
+		epochSpan.End()
+		epochC.Inc()
+		lossG.Set(mean)
+		epochH.Observe(time.Since(epochStart).Seconds())
 		if mean < best {
 			best = mean
 		}

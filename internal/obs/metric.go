@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Metric is one instrument's snapshotted value. Value holds the counter
+// total, the gauge's last set value, or the histogram's sum; Count and
+// the bucket slices are histogram-only.
+type Metric struct {
+	Name   string    `json:"name"`
+	Kind   string    `json:"kind"` // "counter", "gauge", "histogram"
+	Value  float64   `json:"value"`
+	Count  uint64    `json:"count,omitempty"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+}
+
+// addFloat accumulates v into a float64 stored as atomic bits — the
+// standard mutex-free CAS loop.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonic float total. The zero value is usable; a nil
+// counter (from a nil observer) is a no-op.
+type Counter struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Add accumulates v; nil-safe and mutex-free.
+func (c *Counter) Add(v float64) {
+	if c == nil || v == 0 {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current total; nil-safe.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+func (c *Counter) metric() Metric {
+	return Metric{Name: c.name, Kind: "counter", Value: c.Value()}
+}
+
+// Gauge is a last-write-wins float value; nil-safe like Counter.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set records v; nil-safe and mutex-free.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value reads the last set value (zero before any Set); nil-safe.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) metric() Metric {
+	return Metric{Name: g.name, Kind: "gauge", Value: g.Value()}
+}
+
+// DefaultBuckets suit durations in seconds: half a millisecond up to a
+// minute, roughly 2.5× apart, with an implicit overflow bucket.
+var DefaultBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram accumulates observations into fixed buckets plus a running
+// sum and count; every operation is atomic and mutex-free.
+type Histogram struct {
+	name    string
+	bounds  []float64 // ascending upper limits; counts has one extra overflow slot
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	n       atomic.Uint64
+}
+
+func newHistogram(name string, bounds []float64) *Histogram {
+	return &Histogram{name: name, bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records v into its bucket; nil-safe and mutex-free.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	addFloat(&h.sumBits, v)
+	h.n.Add(1)
+}
+
+// Sum reads the accumulated total; nil-safe.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Count reads the observation count; nil-safe.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+func (h *Histogram) metric() Metric {
+	m := Metric{
+		Name:   h.name,
+		Kind:   "histogram",
+		Value:  h.Sum(),
+		Count:  h.Count(),
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		m.Counts[i] = h.counts[i].Load()
+	}
+	return m
+}

@@ -1,0 +1,166 @@
+// Package obs is the pipeline's zero-dependency observability layer:
+// hierarchical spans, named counters/gauges/histograms, and pluggable
+// sinks (no-op, JSON-lines file, in-memory).
+//
+// The overhead contract every instrument honors: when no observer is
+// installed, every call degrades to a nil-receiver no-op — no
+// allocation, no atomic traffic, no lock contention — so the hot Stage 3
+// decode path costs the same with observability compiled in but
+// disabled. With an observer installed, the hot-path operations
+// (Counter.Add, Gauge.Set, Histogram.Observe) are mutex-free: plain
+// atomics with a CAS loop for float accumulation. Locks appear only on
+// instrument creation (once per name) and in sinks (span completion,
+// snapshot), which are off the per-token path.
+//
+//	o := obs.New(sink)                     // nil sink → NopSink
+//	ctx = obs.With(ctx, o)                 // thread through call trees
+//	ctx, span := obs.Start(ctx, "stage2/fit", obs.Int("samples", n))
+//	defer span.End()
+//	o.Counter("fit.epochs").Inc()          // cache the instrument on hot paths
+//	o.Close()                              // flush metric snapshot + close sink
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Obs is an observer: a metric registry plus a span emitter, bound to
+// one Sink. A nil *Obs is valid everywhere and disables everything.
+type Obs struct {
+	sink Sink
+	ids  atomic.Uint64
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New builds an observer writing to sink; a nil sink means NopSink, so
+// metrics still aggregate and Snapshot still works, but spans go nowhere.
+func New(sink Sink) *Obs {
+	if sink == nil {
+		sink = NopSink{}
+	}
+	return &Obs{
+		sink:     sink,
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating once) the named counter. Nil-safe: a nil
+// observer returns a nil counter whose methods are no-ops.
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c, ok := o.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		o.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating once) the named gauge; nil-safe like Counter.
+func (o *Obs) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	g, ok := o.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		o.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating once) the named histogram. The optional
+// bounds are ascending bucket upper limits; omitted, DefaultBuckets
+// (sub-millisecond to a minute, for durations in seconds) apply. Bounds
+// are fixed at first creation; nil-safe like Counter.
+func (o *Obs) Histogram(name string, bounds ...float64) *Histogram {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h, ok := o.hists[name]
+	if !ok {
+		if len(bounds) == 0 {
+			bounds = DefaultBuckets
+		}
+		h = newHistogram(name, bounds)
+		o.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every instrument's current value, sorted by name.
+// Nil-safe: a nil observer snapshots to nil.
+func (o *Obs) Snapshot() []Metric {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]Metric, 0, len(o.counters)+len(o.gauges)+len(o.hists))
+	for _, c := range o.counters {
+		out = append(out, c.metric())
+	}
+	for _, g := range o.gauges {
+		out = append(out, g.metric())
+	}
+	for _, h := range o.hists {
+		out = append(out, h.metric())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Flush pushes a metric snapshot to the sink; spans are emitted as they
+// end and need no flushing.
+func (o *Obs) Flush() {
+	if o == nil {
+		return
+	}
+	o.sink.MetricSnapshot(o.Snapshot())
+}
+
+// Close flushes a final metric snapshot and closes the sink.
+func (o *Obs) Close() error {
+	if o == nil {
+		return nil
+	}
+	o.Flush()
+	return o.sink.Close()
+}
+
+// ctxKey carries the observer; spanCtxKey the current span's ID, so
+// Start can parent-link nested spans.
+type ctxKey struct{}
+type spanCtxKey struct{}
+
+// With threads an observer through a context. A nil observer returns
+// ctx unchanged, keeping the disabled path allocation-free.
+func With(ctx context.Context, o *Obs) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, o)
+}
+
+// From recovers the observer threaded by With; nil when absent.
+func From(ctx context.Context) *Obs {
+	o, _ := ctx.Value(ctxKey{}).(*Obs)
+	return o
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Sink receives completed spans (as they end, from any goroutine) and
+// metric snapshots (on Flush/Close). Implementations must be safe for
+// concurrent use.
+type Sink interface {
+	Span(SpanData)
+	MetricSnapshot([]Metric)
+	Close() error
+}
+
+// NopSink discards everything — the default sink, so an observer can be
+// installed for Snapshot-based tests without writing anywhere.
+type NopSink struct{}
+
+func (NopSink) Span(SpanData)           {}
+func (NopSink) MetricSnapshot([]Metric) {}
+func (NopSink) Close() error            { return nil }
+
+// MemSink records spans and the latest metric snapshot in memory, for
+// tests and the bench harness. The zero value is ready to use.
+type MemSink struct {
+	mu    sync.Mutex
+	spans []SpanData
+	last  []Metric
+}
+
+func (m *MemSink) Span(s SpanData) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.spans = append(m.spans, s)
+}
+
+func (m *MemSink) MetricSnapshot(ms []Metric) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.last = append([]Metric{}, ms...)
+}
+
+func (m *MemSink) Close() error { return nil }
+
+// Spans returns the completed spans in End order.
+func (m *MemSink) Spans() []SpanData {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]SpanData{}, m.spans...)
+}
+
+// Metrics returns the latest snapshot (nil before the first Flush).
+func (m *MemSink) Metrics() []Metric {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Metric{}, m.last...)
+}
+
+// Metric looks a name up in the latest snapshot.
+func (m *MemSink) Metric(name string) (Metric, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, mt := range m.last {
+		if mt.Name == name {
+			return mt, true
+		}
+	}
+	return Metric{}, false
+}
+
+// JSONLSink writes one JSON object per line: spans as they end
+// ("type":"span") and one line per metric at each snapshot
+// ("type":"metric"), machine-readable by anything that reads JSON lines.
+type JSONLSink struct {
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink creates (truncating) the file at path.
+func NewJSONLSink(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: jsonl sink: %w", err)
+	}
+	return &JSONLSink{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// jsonlSpan flattens SpanData for the file format: duration in seconds,
+// attrs as a plain object.
+type jsonlSpan struct {
+	Type   string            `json:"type"`
+	Name   string            `json:"name"`
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent,omitempty"`
+	Start  string            `json:"start"`
+	DurS   float64           `json:"dur_s"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+type jsonlMetric struct {
+	Type string `json:"type"`
+	Metric
+}
+
+func (j *JSONLSink) Span(s SpanData) {
+	rec := jsonlSpan{
+		Type:   "span",
+		Name:   s.Name,
+		ID:     s.ID,
+		Parent: s.Parent,
+		Start:  s.Start.Format("2006-01-02T15:04:05.000000Z07:00"),
+		DurS:   s.Dur.Seconds(),
+	}
+	if len(s.Attrs) > 0 {
+		rec.Attrs = make(map[string]string, len(s.Attrs))
+		for _, a := range s.Attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err == nil {
+		j.err = j.enc.Encode(rec)
+	}
+}
+
+func (j *JSONLSink) MetricSnapshot(ms []Metric) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, m := range ms {
+		if j.err != nil {
+			return
+		}
+		j.err = j.enc.Encode(jsonlMetric{Type: "metric", Metric: m})
+	}
+}
+
+// Close closes the file, returning the first write error if any.
+func (j *JSONLSink) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cerr := j.f.Close()
+	if j.err != nil {
+		return j.err
+	}
+	return cerr
+}
+
+// multiSink fans every event out to several sinks in order.
+type multiSink []Sink
+
+// Multi bundles sinks (e.g. in-memory for the harness plus JSONL for
+// the operator) into one.
+func Multi(sinks ...Sink) Sink { return multiSink(sinks) }
+
+func (m multiSink) Span(s SpanData) {
+	for _, sk := range m {
+		sk.Span(s)
+	}
+}
+
+func (m multiSink) MetricSnapshot(ms []Metric) {
+	for _, sk := range m {
+		sk.MetricSnapshot(ms)
+	}
+}
+
+func (m multiSink) Close() error {
+	var first error
+	for _, sk := range m {
+		if err := sk.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

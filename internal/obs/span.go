@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value pair attached to a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr {
+	return Attr{Key: k, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// SpanData is the completed-span record a Sink receives.
+type SpanData struct {
+	Name   string        `json:"name"`
+	ID     uint64        `json:"id"`
+	Parent uint64        `json:"parent,omitempty"` // 0 = root
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
+}
+
+// Span is one in-flight operation. A nil span (from a nil observer) is
+// a no-op; End may be called at most usefully once (later calls are
+// ignored), so `defer span.End()` composes with early explicit Ends.
+type Span struct {
+	o     *Obs
+	data  SpanData
+	ended atomic.Bool
+}
+
+// startSpan allocates and stamps a span; parent 0 means root.
+func (o *Obs) startSpan(name string, parent uint64, attrs []Attr) *Span {
+	return &Span{o: o, data: SpanData{
+		Name:   name,
+		ID:     o.ids.Add(1),
+		Parent: parent,
+		Start:  time.Now(),
+		Attrs:  attrs,
+	}}
+}
+
+// StartSpan opens a root span outside any context (Stage 1 runs before
+// a context exists). Nil-safe: a nil observer returns a nil span.
+func (o *Obs) StartSpan(name string, attrs ...Attr) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.startSpan(name, 0, attrs)
+}
+
+// Start opens a span under the observer threaded through ctx, parented
+// to the nearest enclosing span, and returns a derived context carrying
+// the new span for its children. Without an observer it returns ctx
+// unchanged and a nil (no-op) span — no allocation.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	o := From(ctx)
+	if o == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanCtxKey{}).(uint64)
+	s := o.startSpan(name, parent, attrs)
+	return context.WithValue(ctx, spanCtxKey{}, s.data.ID), s
+}
+
+// SetAttr appends attributes; must precede End. Nil-safe.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil || s.ended.Load() {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, attrs...)
+}
+
+// End stamps the duration and emits the span to the sink; nil-safe and
+// idempotent.
+func (s *Span) End() {
+	if s == nil || s.ended.Swap(true) {
+		return
+	}
+	s.data.Dur = time.Since(s.data.Start)
+	s.o.sink.Span(s.data)
+}
