@@ -5,9 +5,10 @@
 
 GO ?= go
 
-.PHONY: check lint vet fmt-check test test-race obs-race build bench
+.PHONY: check lint vet fmt-check test test-race obs-race kernels-race build \
+	bench bench-stage2 bench-stage3
 
-check: lint obs-race test-race
+check: lint obs-race kernels-race test-race
 
 build:
 	$(GO) build ./...
@@ -34,5 +35,22 @@ test-race:
 obs-race:
 	$(GO) test -race ./internal/obs
 
-bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+# Kernel differential suite under the race detector: the blocked/SIMD
+# kernels against their naive references across worker counts, plus the
+# batched-vs-per-sample training differentials. Fails fast when a kernel
+# change breaks bit-identity or the parallel dispatch races.
+kernels-race:
+	$(GO) test -race ./internal/tensor
+	$(GO) test -race -run 'LossBatch|FitWorkersDeterministic|Kernel' ./internal/model
+
+# Stage-timing benchmarks, each teed through cmd/benchjson so the run
+# leaves a machine-readable artifact beside the log.
+bench: bench-stage2 bench-stage3
+
+bench-stage2:
+	$(GO) test -run '^$$' -bench 'Fig6TrainingTime' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_stage2.json
+
+bench-stage3:
+	$(GO) test -run '^$$' -bench 'Fig7InferenceTime' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_stage3.json

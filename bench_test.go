@@ -75,6 +75,37 @@ func sharedFixture(b *testing.B) *fixture {
 	return fix
 }
 
+// BenchmarkFig6TrainingTime measures one Stage 2 fine-tuning epoch on the
+// standard fleet's full encoded sample set (the training half of the
+// paper's cost story, reported beside Fig. 7's inference time). A fresh
+// transformer is built outside the timer each iteration so the metric is
+// pure epoch time.
+func BenchmarkFig6TrainingTime(b *testing.B) {
+	c, err := BuildCorpus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	p, err := NewPipeline(c, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := p.TrainingData()
+	mcfg := cfg.Model
+	mcfg.Vocab = p.Vocab.Size()
+	opt := cfg.Train
+	opt.Epochs = 1
+	opt.MinLoss = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := model.NewTransformer(mcfg)
+		b.StartTimer()
+		model.Fit(m, samples, opt)
+	}
+	b.ReportMetric(float64(len(samples)), "samples/epoch")
+}
+
 // BenchmarkFig7InferenceTime measures Stage 3 generation of one complete
 // backend (Fig. 7's quantity), reporting per-module seconds.
 func BenchmarkFig7InferenceTime(b *testing.B) {

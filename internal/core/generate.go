@@ -17,6 +17,7 @@ import (
 	"vega/internal/model"
 	"vega/internal/obs"
 	"vega/internal/template"
+	"vega/internal/tensor"
 )
 
 func joinTokens(toks []string) string { return template.JoinTokens(toks) }
@@ -254,6 +255,9 @@ func (p *Pipeline) GenerateBackendContext(ctx context.Context, target string) *g
 	ctx = obs.With(ctx, p.Cfg.Obs)
 	ctx, span := obs.Start(ctx, "stage3/generate", obs.String("target", target))
 	defer span.End()
+	if p.Cfg.KernelWorkers > 0 {
+		tensor.SetWorkers(p.Cfg.KernelWorkers)
+	}
 	b := &generate.Backend{Target: target, Seconds: make(map[string]float64)}
 
 	// Build the work list in the serial output order. The injected

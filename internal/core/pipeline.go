@@ -72,6 +72,12 @@ type Config struct {
 	// after training). 0 or negative means runtime.NumCPU(). Output is
 	// deterministic and identical for any worker count.
 	Workers int
+	// KernelWorkers bounds how many goroutines a single large matmul may
+	// fan out to inside internal/tensor (training's minibatch kernels and
+	// any other shape above the parallel-dispatch gate). 0 keeps the
+	// kernel default of GOMAXPROCS. Results are bit-identical for any
+	// value; the knob only trades latency for CPU.
+	KernelWorkers int
 	// Obs receives spans and metrics from every stage. nil (the
 	// default) disables observability entirely: instruments degrade to
 	// nil no-ops with no allocation or lock contention on any hot path.

@@ -8,6 +8,7 @@ import (
 
 	"vega/internal/model"
 	"vega/internal/obs"
+	"vega/internal/tensor"
 )
 
 // TrainResult reports Stage 2 outcomes.
@@ -38,6 +39,16 @@ func (p *Pipeline) Train() (*TrainResult, error) {
 	return p.TrainContext(context.Background())
 }
 
+// TrainingData builds the Stage 2 vocabulary and the encoded, deduplicated
+// fine-tuning set without training anything — the entry point the Fig. 6
+// training-time benchmark and diagnostics use to time one epoch in
+// isolation. TrainContext performs the same construction inline.
+func (p *Pipeline) TrainingData() []model.Sample {
+	p.Vocab = model.BuildVocabExtra(p.trainingSequences(), 2, p.forceCharNames(), markerTokens)
+	all := append(p.samplesForSplit(p.TrainFns), p.absentSamples()...)
+	return p.dedupAndCap(all, p.Cfg.MaxSamples, p.Cfg.Seed+1)
+}
+
 // TrainContext runs Stage 2: builds the vocabulary, encodes the training
 // split, optionally pre-trains with a denoising objective, and fine-tunes
 // the selected architecture. When ctx is canceled or times out, the
@@ -48,6 +59,10 @@ func (p *Pipeline) TrainContext(ctx context.Context) (*TrainResult, error) {
 	ctx = obs.With(ctx, o)
 	ctx, span := obs.Start(ctx, "stage2/train")
 	defer span.End()
+
+	if p.Cfg.KernelWorkers > 0 {
+		tensor.SetWorkers(p.Cfg.KernelWorkers)
+	}
 
 	// Vocabulary over the training split only.
 	p.Vocab = model.BuildVocabExtra(p.trainingSequences(), 2, p.forceCharNames(), markerTokens)

@@ -1,6 +1,10 @@
 package model
 
-import "math"
+import (
+	"math"
+
+	"vega/internal/tensor"
+)
 
 // Adam is the Adam optimizer with optional gradient clipping.
 type Adam struct {
@@ -34,17 +38,13 @@ func (a *Adam) Step() {
 	if a.Clip > 0 {
 		var norm float64
 		for _, p := range a.params {
-			for _, g := range p.Grad {
-				norm += float64(g) * float64(g)
-			}
+			norm += tensor.SumSquares(p.Grad)
 		}
 		norm = math.Sqrt(norm)
 		if norm > a.Clip {
 			scale := float32(a.Clip / norm)
 			for _, p := range a.params {
-				for i := range p.Grad {
-					p.Grad[i] *= scale
-				}
+				tensor.ScaleInPlace(p.Grad, scale)
 			}
 		}
 	}
@@ -53,12 +53,7 @@ func (a *Adam) Step() {
 	lr := a.LR * math.Sqrt(bc2) / bc1
 	b1, b2 := float32(a.Beta1), float32(a.Beta2)
 	for i, p := range a.params {
-		m, v := a.m[i], a.v[i]
-		for j, g := range p.Grad {
-			m[j] = b1*m[j] + (1-b1)*g
-			v[j] = b2*v[j] + (1-b2)*g*g
-			p.Data[j] -= float32(lr * float64(m[j]) / (math.Sqrt(float64(v[j])) + a.Eps))
-		}
+		tensor.AdamUpdate(p.Data, p.Grad, a.m[i], a.v[i], lr, b1, b2, a.Eps)
 		p.ZeroGrad()
 	}
 }

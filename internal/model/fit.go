@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
 	"runtime"
@@ -110,14 +111,17 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 		retryDecay = 0.5
 	}
 	params := m.Params()
-	if t, ok := m.(*Transformer); ok {
+	// The batched fast path needs the concrete transformer: wrapper models
+	// (including the fault-injection test doubles that embed *Transformer
+	// but override Loss) train per sample so their Loss override is honored.
+	tr, _ := m.(*Transformer)
+	if tr != nil {
 		// Training mutates Embed in place; the incremental decoder's
 		// transposed-embedding cache must be rebuilt afterwards.
-		defer t.invalidateEmbT()
+		defer tr.invalidateEmbT()
 	}
 	adam := NewAdam(params, opt.LR)
 	rng := rand.New(rand.NewSource(opt.Seed))
-	var gradMu sync.Mutex
 	var stats FitStats
 
 	// Instruments are fetched once per Fit so the epoch loop never takes
@@ -129,11 +133,112 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 	lrG := o.Gauge("fit.lr")
 	retriedC := o.Counter("fit.retried_epochs")
 	skippedC := o.Counter("fit.skipped_samples")
+	panicsC := o.Counter("fit.sample_panics")
 	epochH := o.Histogram("fit.epoch_seconds")
+
+	// A panic in tensor math (shape mismatch on a pathological sample) is
+	// isolated and counted; the first one per run is logged with its value
+	// so the failure mode is diagnosable instead of silently swallowed.
+	var panicOnce sync.Once
+	logPanic := func(r any) {
+		panicOnce.Do(func() {
+			log.Printf("model: training sample panicked (first of possibly many this run): %v", r)
+		})
+	}
 
 	order := make([]int, len(samples))
 	for i := range order {
 		order[i] = i
+	}
+
+	// runBatch tries the true-minibatch path: one pooled tape, one padded
+	// LossBatch forward/backward for the whole batch. It reports false —
+	// without having touched any gradient — when the model is not the
+	// concrete transformer, the batched loss has a non-finite sample, or
+	// the forward pass panics; the caller then falls back to the
+	// per-sample path so healthy samples still contribute. Both the
+	// trigger (finiteness, panics) and the paths themselves are
+	// deterministic, so training stays bit-reproducible either way.
+	runBatch := func(batch []int) (ls []float64, ok bool) {
+		if tr == nil {
+			return nil, false
+		}
+		tp := getTape()
+		defer putTape(tp)
+		defer func() {
+			if r := recover(); r != nil {
+				logPanic(r)
+				ls, ok = nil, false
+			}
+		}()
+		bs := make([]Sample, len(batch))
+		for i, si := range batch {
+			bs[i] = samples[si]
+		}
+		loss, per := tr.LossBatch(tp, bs)
+		for _, lv := range per {
+			if math.IsNaN(lv) || math.IsInf(lv, 0) {
+				return nil, false
+			}
+		}
+		if lv := float64(loss.Data[0]); math.IsNaN(lv) || math.IsInf(lv, 0) {
+			return nil, false
+		}
+		tp.Backward(loss)
+		tp.MergeGrads()
+		return per, true
+	}
+
+	// runPerSample is the reference path: each sample runs its own pooled
+	// tape (workers of them in flight), and after all forward/backward
+	// passes finish the tapes merge on this goroutine in batch-index
+	// order — with MergeGrads itself walking parameters in first-touch
+	// order, the accumulated gradient is bit-identical for any Workers
+	// value and any goroutine schedule.
+	runPerSample := func(batch []int) []float64 {
+		losses := make([]float64, len(batch))
+		tapes := make([]*Tape, len(batch))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, opt.Workers)
+		for bi, si := range batch {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(bi, si int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				losses[bi] = math.NaN() // overwritten on success
+				defer func() {
+					// A panic in tensor math (shape mismatch on a
+					// pathological sample) is isolated to this sample.
+					if r := recover(); r != nil {
+						panicsC.Inc()
+						logPanic(r)
+					}
+				}()
+				tp := getTape()
+				defer func() {
+					if tapes[bi] == nil {
+						putTape(tp) // skipped sample: recycle, merge nothing
+					}
+				}()
+				loss := m.Loss(tp, samples[si].Input, samples[si].Output)
+				lv := float64(loss.Data[0])
+				if math.IsNaN(lv) || math.IsInf(lv, 0) {
+					return // keep the poison out of the gradients
+				}
+				tp.Backward(loss)
+				tapes[bi] = tp
+				losses[bi] = lv
+			}(bi, si)
+		}
+		wg.Wait()
+		for _, tp := range tapes {
+			if tp != nil {
+				tp.MergeGrads()
+				putTape(tp)
+			}
+		}
+		return losses
 	}
 
 	// runEpoch performs one full pass; it returns the mean loss over the
@@ -155,35 +260,10 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 				end = len(order)
 			}
 			batch := order[start:end]
-			var wg sync.WaitGroup
-			losses := make([]float64, len(batch))
-			sem := make(chan struct{}, opt.Workers)
-			for bi, si := range batch {
-				wg.Add(1)
-				sem <- struct{}{}
-				go func(bi, si int) {
-					defer wg.Done()
-					defer func() { <-sem }()
-					losses[bi] = math.NaN() // overwritten on success
-					defer func() {
-						// A panic in tensor math (shape mismatch on a
-						// pathological sample) is isolated to this sample.
-						recover()
-					}()
-					tp := NewTape()
-					loss := m.Loss(tp, samples[si].Input, samples[si].Output)
-					lv := float64(loss.Data[0])
-					if math.IsNaN(lv) || math.IsInf(lv, 0) {
-						return // keep the poison out of the gradients
-					}
-					tp.Backward(loss)
-					gradMu.Lock()
-					tp.MergeGrads()
-					gradMu.Unlock()
-					losses[bi] = lv
-				}(bi, si)
+			losses, batched := runBatch(batch)
+			if !batched {
+				losses = runPerSample(batch)
 			}
-			wg.Wait()
 			applied := 0
 			for _, l := range losses {
 				if math.IsNaN(l) {

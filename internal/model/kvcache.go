@@ -1,6 +1,10 @@
 package model
 
-import "math"
+import (
+	"math"
+
+	"vega/internal/tensor"
+)
 
 // This file implements the fast Stage 3 inference path: a tape-free
 // forward encoder plus an incremental decoder with a per-sequence KV
@@ -20,12 +24,14 @@ import "math"
 // for O(L) decoder row computations and zero autodiff bookkeeping.
 //
 // The outputs are bit-identical to the reference path. Every helper
-// below mirrors the accumulation order of the corresponding Tape op —
-// matmul's p-outer/j-inner loops with the zero-skip, LayerNorm's
+// below mirrors the per-element accumulation order of the corresponding
+// Tape op — the internal/tensor kernels' ascending-k terms with the
+// zero-skip (see that package's determinism contract), LayerNorm's
 // float32 mean/variance accumulation, Softmax's max-shift — so the
 // float32 results match exactly, not just approximately. The
 // differential tests in kvcache_test.go enforce this invariant; keep the
-// kernels in lockstep with tensor.go when changing either.
+// helpers in lockstep with tensor.go and internal/tensor when changing
+// any of them.
 
 // IncrementalDecoder decodes one output sequence token by token against
 // a fixed encoder memory. It is cheap to Clone, which beam search uses
@@ -231,35 +237,24 @@ func (t *Transformer) forwardEncode(input []int) []float32 {
 	return out
 }
 
-// --- forward-only kernels, each mirroring a Tape op's float order ---
+// --- forward-only kernels, each mirroring a Tape op's float order.
+// The heavy ones live in internal/tensor (see its determinism contract);
+// these wrappers keep the decoder's call sites in visible lockstep with
+// the tape ops above. ---
 
 // mulRowsInto accumulates out[j] += a[p]·b[p*stride+off+j] for j < cols,
-// p < rows: one output row of matmul against a sub-matrix of b, with the
-// kernel's p-outer/j-inner order and zero-skip.
+// p < rows: one output row of matmul against a sub-matrix of b, in
+// matmul's per-element term order with the zero-skip.
 func mulRowsInto(out, a, b []float32, rows, cols, stride, off int) {
-	for p := 0; p < rows; p++ {
-		av := a[p]
-		if av == 0 {
-			continue
-		}
-		axpy(out, b[p*stride+off:p*stride+off+cols], av)
-	}
+	tensor.MulRowInto(out, a, b, rows, cols, stride, off)
 }
 
 // dotColumns accumulates out[j] += a[p]·b[j*stride+off+p] — a row times
-// the transpose of a sub-matrix of b, in matmul's p-outer/j-inner order
-// (the order MatMul(a, Transpose(b)) produces after materializing the
-// transpose).
+// the transpose of a sub-matrix of b, in the per-element term order
+// MatMul(a, Transpose(b)) produces after materializing the transpose.
+// out must start zeroed (every caller zeroes its scores scratch first).
 func dotColumns(out, a, b []float32, outer, rows, off, cols int) {
-	for p := 0; p < cols; p++ {
-		av := a[p]
-		if av == 0 {
-			continue
-		}
-		for j := 0; j < outer; j++ {
-			out[j] += av * b[j*rows+off+p]
-		}
-	}
+	tensor.DotColumns(out, a, b, outer, rows, off, cols)
 }
 
 // linearRowFwdInto computes x·W + b for one row into out, mirroring

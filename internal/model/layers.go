@@ -77,17 +77,25 @@ func (m *MHA) Apply(tp *Tape, x, mem *Tensor, causal bool) *Tensor {
 	q := m.WQ.Apply(tp, x)
 	k := m.WK.Apply(tp, mem)
 	v := m.WV.Apply(tp, mem)
+	return m.WO.Apply(tp, m.attend(tp, q, k, v, causal))
+}
+
+// attend is the core of Apply after the Q/K/V projections: per-head
+// scaled dot-product attention over already-projected rows, heads
+// concatenated but not yet output-projected. The batched trainer calls
+// it per sample on row slices of batch-projected Q/K/V; because every
+// projection is row-local, those slices are bit-identical to what the
+// per-sample path computes, and so is everything downstream.
+func (m *MHA) attend(tp *Tape, q, k, v *Tensor, causal bool) *Tensor {
 	dh := m.D / m.Heads
 	scale := float32(1 / math.Sqrt(float64(dh)))
 
 	var mask []float32
 	if causal {
-		mask = make([]float32, x.R*mem.R)
-		for i := 0; i < x.R; i++ {
-			for j := 0; j < mem.R; j++ {
-				if j > i {
-					mask[i*mem.R+j] = float32(math.Inf(-1))
-				}
+		mask = tp.arena.Alloc(q.R * k.R)
+		for i := 0; i < q.R; i++ {
+			for j := i + 1; j < k.R; j++ {
+				mask[i*k.R+j] = float32(math.Inf(-1))
 			}
 		}
 	}
@@ -106,7 +114,29 @@ func (m *MHA) Apply(tp *Tape, x, mem *Tensor, causal bool) *Tensor {
 			heads = tp.HConcat(heads, oh)
 		}
 	}
-	return m.WO.Apply(tp, heads)
+	return heads
+}
+
+// applyBatch is Apply over a ragged minibatch: x packs the samples'
+// query rows back to back (sample s occupies rows [qOffs[s], qOffs[s+1]))
+// and mem packs their memory rows likewise. Projections run batched (one
+// matmul over all rows); attention — the only op that mixes rows — runs
+// per sample over its own row range, so samples never need masks and
+// never see each other. ConcatRows re-packs the per-sample results into
+// the same ragged layout. No row is padding: the batch does exactly the
+// per-sample flops, in fewer, larger kernel calls.
+func (m *MHA) applyBatch(tp *Tape, x, mem *Tensor, qOffs, kOffs []int, causal bool) *Tensor {
+	q := m.WQ.Apply(tp, x)
+	k := m.WK.Apply(tp, mem)
+	v := m.WV.Apply(tp, mem)
+	parts := make([]*Tensor, len(qOffs)-1)
+	for s := range parts {
+		qs := tp.SliceRows(q, qOffs[s], qOffs[s+1])
+		ks := tp.SliceRows(k, kOffs[s], kOffs[s+1])
+		vs := tp.SliceRows(v, kOffs[s], kOffs[s+1])
+		parts[s] = m.attend(tp, qs, ks, vs, causal)
+	}
+	return m.WO.Apply(tp, tp.ConcatRows(parts))
 }
 
 // Params returns the trainable tensors.
@@ -162,6 +192,17 @@ func (l *EncoderLayer) Apply(tp *Tape, x *Tensor) *Tensor {
 	return x
 }
 
+// applyBatch runs the layer over a ragged minibatch (sample s at rows
+// [offs[s], offs[s+1])). Norms, FFN, and residual adds are row-local so
+// they run batched unchanged; only attention goes through the
+// per-sample slicing in MHA.applyBatch.
+func (l *EncoderLayer) applyBatch(tp *Tape, x *Tensor, offs []int) *Tensor {
+	h := l.N1.Apply(tp, x)
+	x = tp.Add(x, l.Attn.applyBatch(tp, h, h, offs, offs, false))
+	x = tp.Add(x, l.FF.Apply(tp, l.N2.Apply(tp, x)))
+	return x
+}
+
 // Params returns the trainable tensors.
 func (l *EncoderLayer) Params() []*Tensor {
 	var out []*Tensor
@@ -195,6 +236,17 @@ func (l *DecoderLayer) Apply(tp *Tape, x, mem *Tensor) *Tensor {
 	h := l.N1.Apply(tp, x)
 	x = tp.Add(x, l.Self.Apply(tp, h, h, true))
 	x = tp.Add(x, l.Cross.Apply(tp, l.N2.Apply(tp, x), mem, false))
+	x = tp.Add(x, l.FF.Apply(tp, l.N3.Apply(tp, x)))
+	return x
+}
+
+// applyBatch runs the layer over ragged decoder states x (sample s at
+// rows [qOffs[s], qOffs[s+1])) attending to ragged encoder memory mem
+// (rows [kOffs[s], kOffs[s+1])).
+func (l *DecoderLayer) applyBatch(tp *Tape, x, mem *Tensor, qOffs, kOffs []int) *Tensor {
+	h := l.N1.Apply(tp, x)
+	x = tp.Add(x, l.Self.applyBatch(tp, h, h, qOffs, qOffs, true))
+	x = tp.Add(x, l.Cross.applyBatch(tp, l.N2.Apply(tp, x), mem, qOffs, kOffs, false))
 	x = tp.Add(x, l.FF.Apply(tp, l.N3.Apply(tp, x)))
 	return x
 }

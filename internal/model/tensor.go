@@ -3,13 +3,18 @@
 // tape-based reverse-mode autodiff, the transformer encoder-decoder that
 // plays the role of the fine-tuned UniXcoder, a GRU seq2seq and an
 // encoder-only "vanilla BERT"-style baseline for the paper's model
-// ablation, a subword tokenizer, and the Adam optimizer.
+// ablation, a subword tokenizer, and the Adam optimizer. The numeric
+// kernels under every op live in internal/tensor; this package owns the
+// autodiff bookkeeping on top of them.
 package model
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+
+	"vega/internal/tensor"
 )
 
 // Tensor is a dense row-major float32 matrix participating in automatic
@@ -25,7 +30,8 @@ type Tensor struct {
 	owner        *Tape // tape that created this tensor; nil for leaves
 }
 
-// NewTensor allocates a zero matrix.
+// NewTensor allocates a zero matrix on the heap (parameters and other
+// long-lived tensors; tape intermediates come from the tape's arena).
 func NewTensor(r, c int) *Tensor {
 	return &Tensor{R: r, C: c, Data: make([]float32, r*c)}
 }
@@ -73,14 +79,80 @@ func (t *Tensor) ZeroGrad() {
 // replay it in reverse. Tapes are single-goroutine, but several tapes can
 // run concurrently over the same parameters: gradients for leaf parameters
 // accumulate into tape-local shadow buffers, merged into the parameters
-// with MergeGrads (under the caller's lock).
+// with MergeGrads.
+//
+// Every tensor a tape op creates — node struct, data, gradient, shadow
+// buffer — lives in the tape's grow-only arena. Reset rewinds the arena
+// so the next forward pass reuses the same memory; getTape/putTape keep
+// reset tapes in a sync.Pool so a training epoch allocates almost
+// nothing after its first batch. A tensor created by a tape (and any
+// slice derived from it) is valid only until that tape's Reset.
 type Tape struct {
 	nodes  []*Tensor
 	shadow map[*Tensor][]float32
+	order  []*Tensor // shadow keys in first-touch order, for deterministic merges
+	arena  tensor.Arena
+	slabs  [][]Tensor
+	si, sj int // bump position into slabs
 }
 
 // NewTape returns an empty tape.
 func NewTape() *Tape { return &Tape{shadow: make(map[*Tensor][]float32)} }
+
+// Reset rewinds the tape for reuse: nodes, shadow gradients, and the
+// arena all clear in O(1) amortized time while the backing memory is
+// retained. Every tensor the tape created becomes invalid.
+func (tp *Tape) Reset() {
+	tp.nodes = tp.nodes[:0]
+	clear(tp.shadow)
+	tp.order = tp.order[:0]
+	tp.arena.Reset()
+	tp.si, tp.sj = 0, 0
+}
+
+// tapePool recycles reset tapes across batches and epochs. A pooled
+// tape's arena keeps its high-water-mark footprint, so steady-state
+// training reuses the same few chunks instead of churning the GC.
+var tapePool = sync.Pool{New: func() any { return NewTape() }}
+
+func getTape() *Tape { return tapePool.Get().(*Tape) }
+
+func putTape(tp *Tape) {
+	tp.Reset()
+	tapePool.Put(tp)
+}
+
+// tapeSlabLen sizes the Tensor-struct slabs the tape bump-allocates
+// node headers from.
+const tapeSlabLen = 256
+
+// slot returns the next recycled Tensor struct.
+func (tp *Tape) slot() *Tensor {
+	if tp.si == len(tp.slabs) {
+		tp.slabs = append(tp.slabs, make([]Tensor, tapeSlabLen))
+	}
+	t := &tp.slabs[tp.si][tp.sj]
+	tp.sj++
+	if tp.sj == tapeSlabLen {
+		tp.si++
+		tp.sj = 0
+	}
+	return t
+}
+
+// newTensor allocates an r×c tensor with zeroed data in the tape's arena.
+func (tp *Tape) newTensor(r, c int) *Tensor {
+	t := tp.slot()
+	*t = Tensor{R: r, C: c, Data: tp.arena.Alloc(r * c)}
+	return t
+}
+
+// newTensorNoZero is newTensor for ops that overwrite every element.
+func (tp *Tape) newTensorNoZero(r, c int) *Tensor {
+	t := tp.slot()
+	*t = Tensor{R: r, C: c, Data: tp.arena.AllocNoZero(r * c)}
+	return t
+}
 
 func (tp *Tape) record(t *Tensor, back func(), parents ...*Tensor) *Tensor {
 	t.back = back
@@ -92,7 +164,7 @@ func (tp *Tape) record(t *Tensor, back func(), parents ...*Tensor) *Tensor {
 		}
 	}
 	if t.requiresGrad && t.Grad == nil {
-		t.Grad = make([]float32, len(t.Data))
+		t.Grad = tp.arena.Alloc(len(t.Data))
 	}
 	tp.nodes = append(tp.nodes, t)
 	return t
@@ -107,8 +179,9 @@ func (tp *Tape) g(t *Tensor) []float32 {
 	if buf, ok := tp.shadow[t]; ok {
 		return buf
 	}
-	buf := make([]float32, len(t.Data))
+	buf := tp.arena.Alloc(len(t.Data))
 	tp.shadow[t] = buf
+	tp.order = append(tp.order, t)
 	return buf
 }
 
@@ -131,12 +204,18 @@ func (tp *Tape) Backward(loss *Tensor) {
 	}
 }
 
-// MergeGrads adds the tape's shadow gradients into their parameters.
-// Callers running tapes concurrently must serialize MergeGrads.
+// MergeGrads adds the tape's shadow gradients into their parameters, in
+// the order the parameters were first touched during the backward pass.
+// That order is a pure function of the recorded graph, so — together
+// with FitContext merging tapes in batch-index order — merged gradients
+// are bit-identical run to run regardless of worker scheduling. Callers
+// running tapes concurrently must serialize MergeGrads.
 func (tp *Tape) MergeGrads() {
-	for p, buf := range tp.shadow {
+	for _, p := range tp.order {
+		buf := tp.shadow[p]
+		pg := p.Grad
 		for i := range buf {
-			p.Grad[i] += buf[i]
+			pg[i] += buf[i]
 		}
 	}
 }
@@ -148,70 +227,51 @@ func (tp *Tape) MatMul(a, b *Tensor) *Tensor {
 	if a.C != b.R {
 		panic(fmt.Sprintf("model: MatMul %dx%d · %dx%d", a.R, a.C, b.R, b.C))
 	}
-	out := NewTensor(a.R, b.C)
+	out := tp.newTensor(a.R, b.C)
 	matmul(out.Data, a.Data, b.Data, a.R, a.C, b.C)
 	return tp.record(out, func() {
 		// dA = dOut · Bᵀ ; dB = Aᵀ · dOut
 		if a.requiresGrad {
-			matmulNT(tp.g(a), out.Grad, b.Data, a.R, b.C, a.C)
+			tensor.MatMulNT(tp.g(a), out.Grad, b.Data, a.R, b.C, a.C)
 		}
 		if b.requiresGrad {
-			matmulTN(tp.g(b), a.Data, out.Grad, a.C, a.R, b.C)
+			tensor.MatMulTN(tp.g(b), a.Data, out.Grad, a.C, a.R, b.C)
 		}
 	}, a, b)
 }
 
-// matmul computes out += a·b with a r×k, b k×c (out assumed zeroed).
-func matmul(out, a, b []float32, r, k, c int) {
-	for i := 0; i < r; i++ {
-		arow := a[i*k : (i+1)*k]
-		orow := out[i*c : (i+1)*c]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			axpy(orow, b[p*c:(p+1)*c], av)
-		}
+// MatMulNT multiplies a (r×k) by bᵀ (b is c×k) without materializing the
+// transpose. The batched trainer uses it for the tied output projection
+// (states · Embedᵀ), where transposing the embedding per batch would
+// dominate the tape.
+func (tp *Tape) MatMulNT(a, b *Tensor) *Tensor {
+	if a.C != b.C {
+		panic(fmt.Sprintf("model: MatMulNT %dx%d · (%dx%d)ᵀ", a.R, a.C, b.R, b.C))
 	}
+	out := tp.newTensor(a.R, b.R)
+	tensor.MatMulNT(out.Data, a.Data, b.Data, a.R, a.C, b.R)
+	return tp.record(out, func() {
+		// dA = dOut · B ; dB = dOutᵀ · A
+		if a.requiresGrad {
+			tensor.MatMul(tp.g(a), out.Grad, b.Data, a.R, b.R, a.C)
+		}
+		if b.requiresGrad {
+			tensor.MatMulTN(tp.g(b), out.Grad, a.Data, b.R, a.R, a.C)
+		}
+	}, a, b)
 }
 
-// matmulNT computes dst += a·bᵀ with a r×k, b c×k, dst r×c.
-func matmulNT(dst, a, b []float32, r, k, c int) {
-	for i := 0; i < r; i++ {
-		arow := a[i*k : (i+1)*k]
-		drow := dst[i*c : (i+1)*c]
-		for j := 0; j < c; j++ {
-			brow := b[j*k : (j+1)*k]
-			var s float32
-			for p := range arow {
-				s += arow[p] * brow[p]
-			}
-			drow[j] += s
-		}
-	}
-}
+// matmul and axpy delegate to the kernel layer; kvcache.go calls them
+// under these names to stay in visible lockstep with the tape ops.
+func matmul(out, a, b []float32, r, k, c int) { tensor.MatMul(out, a, b, r, k, c) }
 
-// matmulTN computes dst += aᵀ·b with a r2×r, b r2×c, dst r×c.
-func matmulTN(dst, a, b []float32, r, r2, c int) {
-	for p := 0; p < r2; p++ {
-		arow := a[p*r : (p+1)*r]
-		brow := b[p*c : (p+1)*c]
-		for i := 0; i < r; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			axpy(dst[i*c:(i+1)*c], brow, av)
-		}
-	}
-}
+func axpy(dst, src []float32, alpha float32) { tensor.Axpy(dst, src, alpha) }
 
 // Add returns a + b (same shape), or a + row-broadcast b (b is 1×C).
 func (tp *Tape) Add(a, b *Tensor) *Tensor {
-	out := NewTensor(a.R, a.C)
 	switch {
 	case b.R == a.R && b.C == a.C:
+		out := tp.newTensorNoZero(a.R, a.C)
 		for i := range out.Data {
 			out.Data[i] = a.Data[i] + b.Data[i]
 		}
@@ -224,6 +284,7 @@ func (tp *Tape) Add(a, b *Tensor) *Tensor {
 			}
 		}, a, b)
 	case b.R == 1 && b.C == a.C:
+		out := tp.newTensorNoZero(a.R, a.C)
 		for i := 0; i < a.R; i++ {
 			arow, orow := a.Row(i), out.Row(i)
 			for j := range orow {
@@ -249,27 +310,9 @@ func (tp *Tape) Add(a, b *Tensor) *Tensor {
 	}
 }
 
-// axpy computes dst[i] += alpha·src[i]. The 4-way unroll only widens
-// the loop body — each element still receives exactly one += per call,
-// so the accumulation order (and therefore the float32 result) is
-// unchanged while the independent lanes overlap in the pipeline.
-func axpy(dst, src []float32, alpha float32) {
-	src = src[:len(dst)]
-	i := 0
-	for ; i+4 <= len(dst); i += 4 {
-		dst[i] += alpha * src[i]
-		dst[i+1] += alpha * src[i+1]
-		dst[i+2] += alpha * src[i+2]
-		dst[i+3] += alpha * src[i+3]
-	}
-	for ; i < len(dst); i++ {
-		dst[i] += alpha * src[i]
-	}
-}
-
 // Scale returns a·s.
 func (tp *Tape) Scale(a *Tensor, s float32) *Tensor {
-	out := NewTensor(a.R, a.C)
+	out := tp.newTensorNoZero(a.R, a.C)
 	for i := range out.Data {
 		out.Data[i] = a.Data[i] * s
 	}
@@ -285,7 +328,7 @@ func (tp *Tape) Mul(a, b *Tensor) *Tensor {
 	if a.R != b.R || a.C != b.C {
 		panic("model: Mul shape mismatch")
 	}
-	out := NewTensor(a.R, a.C)
+	out := tp.newTensorNoZero(a.R, a.C)
 	for i := range out.Data {
 		out.Data[i] = a.Data[i] * b.Data[i]
 	}
@@ -307,7 +350,7 @@ func (tp *Tape) Mul(a, b *Tensor) *Tensor {
 
 // ReLU applies max(0, x).
 func (tp *Tape) ReLU(a *Tensor) *Tensor {
-	out := NewTensor(a.R, a.C)
+	out := tp.newTensor(a.R, a.C)
 	for i, v := range a.Data {
 		if v > 0 {
 			out.Data[i] = v
@@ -327,7 +370,7 @@ func (tp *Tape) ReLU(a *Tensor) *Tensor {
 
 // GELU applies the tanh-approximated Gaussian error linear unit.
 func (tp *Tape) GELU(a *Tensor) *Tensor {
-	out := NewTensor(a.R, a.C)
+	out := tp.newTensorNoZero(a.R, a.C)
 	const c0 = 0.7978845608028654 // sqrt(2/pi)
 	for i, v := range a.Data {
 		x := float64(v)
@@ -349,7 +392,7 @@ func (tp *Tape) GELU(a *Tensor) *Tensor {
 
 // Sigmoid applies 1/(1+e^-x).
 func (tp *Tape) Sigmoid(a *Tensor) *Tensor {
-	out := NewTensor(a.R, a.C)
+	out := tp.newTensorNoZero(a.R, a.C)
 	for i, v := range a.Data {
 		out.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
 	}
@@ -366,7 +409,7 @@ func (tp *Tape) Sigmoid(a *Tensor) *Tensor {
 
 // Tanh applies the hyperbolic tangent.
 func (tp *Tape) Tanh(a *Tensor) *Tensor {
-	out := NewTensor(a.R, a.C)
+	out := tp.newTensorNoZero(a.R, a.C)
 	for i, v := range a.Data {
 		out.Data[i] = float32(math.Tanh(float64(v)))
 	}
@@ -384,7 +427,7 @@ func (tp *Tape) Tanh(a *Tensor) *Tensor {
 // Softmax applies a row-wise softmax with optional additive mask (same
 // shape, typically 0 / -inf values) applied before normalization.
 func (tp *Tape) Softmax(a *Tensor, mask []float32) *Tensor {
-	out := NewTensor(a.R, a.C)
+	out := tp.newTensorNoZero(a.R, a.C)
 	for i := 0; i < a.R; i++ {
 		arow, orow := a.Row(i), out.Row(i)
 		maxv := float32(math.Inf(-1))
@@ -435,9 +478,9 @@ func (tp *Tape) Softmax(a *Tensor, mask []float32) *Tensor {
 // learned gain and bias (both 1×C).
 func (tp *Tape) LayerNorm(a, gain, bias *Tensor) *Tensor {
 	const eps = 1e-5
-	out := NewTensor(a.R, a.C)
-	means := make([]float32, a.R)
-	invstd := make([]float32, a.R)
+	out := tp.newTensorNoZero(a.R, a.C)
+	means := tp.arena.AllocNoZero(a.R)
+	invstd := tp.arena.AllocNoZero(a.R)
 	for i := 0; i < a.R; i++ {
 		arow := a.Row(i)
 		var mean float32
@@ -493,7 +536,7 @@ func (tp *Tape) LayerNorm(a, gain, bias *Tensor) *Tensor {
 // Rows gathers the given rows of a into a new len(idx)×C tensor
 // (embedding lookup).
 func (tp *Tape) Rows(a *Tensor, idx []int) *Tensor {
-	out := NewTensor(len(idx), a.C)
+	out := tp.newTensorNoZero(len(idx), a.C)
 	for i, r := range idx {
 		copy(out.Row(i), a.Row(r))
 	}
@@ -517,7 +560,7 @@ func (tp *Tape) Concat(a, b *Tensor) *Tensor {
 	if a.C != b.C {
 		panic("model: Concat column mismatch")
 	}
-	out := NewTensor(a.R+b.R, a.C)
+	out := tp.newTensorNoZero(a.R+b.R, a.C)
 	copy(out.Data[:len(a.Data)], a.Data)
 	copy(out.Data[len(a.Data):], b.Data)
 	return tp.record(out, func() {
@@ -530,12 +573,45 @@ func (tp *Tape) Concat(a, b *Tensor) *Tensor {
 	}, a, b)
 }
 
+// ConcatRows stacks parts vertically (same column count) — the n-ary
+// Concat the batched trainer uses to re-pack per-sample attention
+// outputs into the ragged minibatch layout.
+func (tp *Tape) ConcatRows(parts []*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("model: ConcatRows of nothing")
+	}
+	c := parts[0].C
+	rows := 0
+	for _, p := range parts {
+		if p.C != c {
+			panic(fmt.Sprintf("model: ConcatRows column mismatch %d vs %d", p.C, c))
+		}
+		rows += p.R
+	}
+	ps := append([]*Tensor(nil), parts...)
+	out := tp.newTensorNoZero(rows, c)
+	off := 0
+	for _, p := range ps {
+		copy(out.Data[off:], p.Data)
+		off += len(p.Data)
+	}
+	return tp.record(out, func() {
+		off := 0
+		for _, p := range ps {
+			if p.requiresGrad {
+				axpy(tp.g(p), out.Grad[off:off+len(p.Data)], 1)
+			}
+			off += len(p.Data)
+		}
+	}, ps...)
+}
+
 // HConcat stacks a and b horizontally (same row count).
 func (tp *Tape) HConcat(a, b *Tensor) *Tensor {
 	if a.R != b.R {
 		panic("model: HConcat row mismatch")
 	}
-	out := NewTensor(a.R, a.C+b.C)
+	out := tp.newTensorNoZero(a.R, a.C+b.C)
 	for i := 0; i < a.R; i++ {
 		copy(out.Row(i)[:a.C], a.Row(i))
 		copy(out.Row(i)[a.C:], b.Row(i))
@@ -561,7 +637,7 @@ func (tp *Tape) HConcat(a, b *Tensor) *Tensor {
 
 // SliceRows returns rows [lo, hi) as a view-copy.
 func (tp *Tape) SliceRows(a *Tensor, lo, hi int) *Tensor {
-	out := NewTensor(hi-lo, a.C)
+	out := tp.newTensorNoZero(hi-lo, a.C)
 	copy(out.Data, a.Data[lo*a.C:hi*a.C])
 	return tp.record(out, func() {
 		if a.requiresGrad {
@@ -572,7 +648,7 @@ func (tp *Tape) SliceRows(a *Tensor, lo, hi int) *Tensor {
 
 // SliceCols returns columns [lo, hi) as a copy.
 func (tp *Tape) SliceCols(a *Tensor, lo, hi int) *Tensor {
-	out := NewTensor(a.R, hi-lo)
+	out := tp.newTensorNoZero(a.R, hi-lo)
 	for i := 0; i < a.R; i++ {
 		copy(out.Row(i), a.Row(i)[lo:hi])
 	}
@@ -593,7 +669,7 @@ func (tp *Tape) SliceCols(a *Tensor, lo, hi int) *Tensor {
 
 // Transpose returns aᵀ.
 func (tp *Tape) Transpose(a *Tensor) *Tensor {
-	out := NewTensor(a.C, a.R)
+	out := tp.newTensorNoZero(a.C, a.R)
 	for i := 0; i < a.R; i++ {
 		for j := 0; j < a.C; j++ {
 			out.Data[j*a.R+i] = a.Data[i*a.C+j]
@@ -617,8 +693,8 @@ func (tp *Tape) CrossEntropy(logits *Tensor, targets []int) *Tensor {
 	if len(targets) != logits.R {
 		panic("model: CrossEntropy target length mismatch")
 	}
-	probs := make([]float32, len(logits.Data))
-	out := NewTensor(1, 1)
+	probs := tp.arena.AllocNoZero(len(logits.Data))
+	out := tp.newTensor(1, 1)
 	count := 0
 	var loss float64
 	for i := 0; i < logits.R; i++ {
@@ -667,4 +743,32 @@ func (tp *Tape) CrossEntropy(logits *Tensor, targets []int) *Tensor {
 			}
 		}
 	}, logits)
+}
+
+// CrossEntropyWeighted computes Σᵢ weights[i]·nllᵢ over the rows with
+// targets[i] >= 0, using the fused softmax+cross-entropy kernel (one exp
+// per logit). It also returns every row's negative log-likelihood so the
+// batched trainer can report per-sample losses. Rows with target -1 are
+// padding: no loss, no gradient.
+func (tp *Tape) CrossEntropyWeighted(logits *Tensor, targets []int, weights []float32) (*Tensor, []float64) {
+	if len(targets) != logits.R || len(weights) != logits.R {
+		panic("model: CrossEntropyWeighted length mismatch")
+	}
+	probs := tp.arena.AllocNoZero(len(logits.Data))
+	rowNLL := make([]float64, logits.R)
+	tensor.SoftmaxXent(probs, logits.Data, targets, logits.R, logits.C, rowNLL)
+	var loss float64
+	for i, t := range targets {
+		if t >= 0 {
+			loss += float64(weights[i]) * rowNLL[i]
+		}
+	}
+	out := tp.newTensorNoZero(1, 1)
+	out.Data[0] = float32(loss)
+	return tp.record(out, func() {
+		if !logits.requiresGrad {
+			return
+		}
+		tensor.XentBackward(tp.g(logits), probs, targets, logits.R, logits.C, out.Grad[0], weights)
+	}, logits), rowNLL
 }

@@ -1,0 +1,50 @@
+//go:build amd64
+
+package tensor
+
+// The assembly kernels vectorize the two inner loops every matmul-family
+// kernel reduces to — axpy and the fused four-term row update — with
+// VMULPS/VADDPS only. Each lane performs exactly the scalar sequence
+// (separate rounding for the product and for each add, terms associated
+// left-to-right from the accumulator), and lanes never exchange data, so
+// the vector results are bit-identical to the pure-Go loops; the
+// differential tests in kernels_test.go run both paths against the same
+// naive reference. FMA is deliberately not used: a fused multiply-add
+// rounds once, not twice, and would break the determinism contract.
+
+func cpuidex(leaf, sub uint32) (ax, bx, cx, dx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// axpyAVX2 computes dst[i] += alpha·src[i] for n elements (n ≥ 0,
+// processed 8 at a time; the caller handles n%8 leftovers).
+func axpyAVX2(dst, src *float32, n int, alpha float32)
+
+// fused4AVX2 computes o[j] = o[j] + a0·b0[j] + a1·b1[j] + a2·b2[j] +
+// a3·b3[j] for n elements, left-to-right per element (n processed 8 at
+// a time; the caller handles leftovers).
+func fused4AVX2(o, b0, b1, b2, b3 *float32, n int, a0, a1, a2, a3 float32)
+
+// useAVX2 gates the assembly paths: AVX2 present and YMM state enabled
+// by the OS. Checked once at init; the pure-Go loops are the fallback
+// and the reference.
+var useAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 and 2: XMM and YMM state saved/restored by the OS.
+	eax, _ := xgetbv0()
+	if eax&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&(1<<5) != 0 // CPUID.(EAX=7,ECX=0):EBX[5] = AVX2
+}

@@ -1,0 +1,89 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidex(leaf, sub uint32) (ax, bx, cx, dx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, ax+8(FP)
+	MOVL BX, bx+12(FP)
+	MOVL CX, cx+16(FP)
+	MOVL DX, dx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpyAVX2(dst, src *float32, n int, alpha float32)
+// dst[i] += alpha*src[i], 8 lanes per iteration. Product and add round
+// separately (VMULPS then VADDPS) exactly like the scalar loop.
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-28
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSS alpha+24(FP), Y0
+axpyloop:
+	CMPQ CX, $8
+	JLT  axpydone
+	VMOVUPS (SI), Y1
+	VMULPS  Y1, Y0, Y1
+	VMOVUPS (DI), Y2
+	VADDPS  Y1, Y2, Y2
+	VMOVUPS Y2, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JMP  axpyloop
+axpydone:
+	VZEROUPPER
+	RET
+
+// func fused4AVX2(o, b0, b1, b2, b3 *float32, n int, a0, a1, a2, a3 float32)
+// o[j] = o[j] + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j], 8 lanes per
+// iteration, terms added left-to-right from the accumulator with one
+// rounding per product and per add — the scalar fused-block loop exactly.
+TEXT ·fused4AVX2(SB), NOSPLIT, $0-64
+	MOVQ o+0(FP), DI
+	MOVQ b0+8(FP), R8
+	MOVQ b1+16(FP), R9
+	MOVQ b2+24(FP), R10
+	MOVQ b3+32(FP), R11
+	MOVQ n+40(FP), CX
+	VBROADCASTSS a0+48(FP), Y0
+	VBROADCASTSS a1+52(FP), Y1
+	VBROADCASTSS a2+56(FP), Y2
+	VBROADCASTSS a3+60(FP), Y3
+f4loop:
+	CMPQ CX, $8
+	JLT  f4done
+	VMOVUPS (DI), Y4
+	VMOVUPS (R8), Y5
+	VMULPS  Y5, Y0, Y5
+	VADDPS  Y5, Y4, Y4
+	VMOVUPS (R9), Y5
+	VMULPS  Y5, Y1, Y5
+	VADDPS  Y5, Y4, Y4
+	VMOVUPS (R10), Y5
+	VMULPS  Y5, Y2, Y5
+	VADDPS  Y5, Y4, Y4
+	VMOVUPS (R11), Y5
+	VMULPS  Y5, Y3, Y5
+	VADDPS  Y5, Y4, Y4
+	VMOVUPS Y4, (DI)
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	SUBQ $8, CX
+	JMP  f4loop
+f4done:
+	VZEROUPPER
+	RET

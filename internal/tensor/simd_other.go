@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds run the pure-Go loops everywhere; these stubs are
+// never reached.
+
+const useAVX2 = false
+
+func axpyAVX2(dst, src *float32, n int, alpha float32) {
+	panic("tensor: axpyAVX2 on non-amd64")
+}
+
+func fused4AVX2(o, b0, b1, b2, b3 *float32, n int, a0, a1, a2, a3 float32) {
+	panic("tensor: fused4AVX2 on non-amd64")
+}
