@@ -5,10 +5,10 @@
 
 GO ?= go
 
-.PHONY: check lint vet fmt-check test test-race obs-race kernels-race build \
-	bench bench-stage2 bench-stage3
+.PHONY: check lint vet fmt-check test test-race obs-race kernels-race \
+	stage1-race build bench bench-stage1 bench-stage2 bench-stage3
 
-check: lint obs-race kernels-race test-race
+check: lint obs-race kernels-race stage1-race test-race
 
 build:
 	$(GO) build ./...
@@ -43,9 +43,23 @@ kernels-race:
 	$(GO) test -race ./internal/tensor
 	$(GO) test -race -run 'LossBatch|FitWorkersDeterministic|Kernel' ./internal/model
 
+# Stage 1 concurrency suite under the race detector: the artifact cache
+# round-trips plus the worker-count differential (Stage1Workers 1/3/8
+# must serialize byte-identically), which drives the templatization pool
+# and the shared extractor/source-tree memos from many goroutines.
+stage1-race:
+	$(GO) test -race ./internal/s1cache
+	$(GO) test -race -run 'Stage1Workers|Stage1Cache' ./internal/core
+
 # Stage-timing benchmarks, each teed through cmd/benchjson so the run
 # leaves a machine-readable artifact beside the log.
-bench: bench-stage2 bench-stage3
+bench: bench-stage1 bench-stage2 bench-stage3
+
+# One invocation covers both Stage 1 variants: cold (full templatization
+# + feature mining) and warm (content-addressed cache hit).
+bench-stage1:
+	$(GO) test -run '^$$' -bench 'Stage1Templatization' -benchmem -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_stage1.json
 
 bench-stage2:
 	$(GO) test -run '^$$' -bench 'Fig6TrainingTime' -benchmem -benchtime 1x . \

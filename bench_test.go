@@ -297,6 +297,27 @@ func BenchmarkStage1Templatization(b *testing.B) {
 	}
 }
 
+// BenchmarkStage1TemplatizationWarm measures Stage 1 with a populated
+// artifact cache: every iteration is a content-addressed cache hit, so
+// the number is the floor a repeated CLI/harness run pays for Stage 1.
+func BenchmarkStage1TemplatizationWarm(b *testing.B) {
+	c, err := BuildCorpus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Stage1Cache = b.TempDir()
+	if _, err := NewPipeline(c, cfg); err != nil { // populate outside the timer
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewPipeline(c, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkModelTrainingEpoch measures one fine-tuning epoch.
 func BenchmarkModelTrainingEpoch(b *testing.B) {
 	f := sharedFixture(b)

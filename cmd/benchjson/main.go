@@ -27,10 +27,35 @@ type doc struct {
 	Goos    string   `json:"goos,omitempty"`
 	Goarch  string   `json:"goarch,omitempty"`
 	CPU     string   `json:"cpu,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
 	Results []result `json:"results"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// deriveSpeedups annotates paired variants: when results "X" and "XWarm"
+// both appear (-cpu suffixes stripped), XWarm gains a speedup_vs_cold
+// metric, so the cold/warm ratio is recorded in the artifact itself
+// (e.g. BenchmarkStage1Templatization vs its cache-hit variant).
+func deriveSpeedups(d *doc) {
+	byBase := make(map[string]float64)
+	for _, r := range d.Results {
+		base, _, _ := strings.Cut(r.Name, "-")
+		byBase[base] = r.NsPerOp
+	}
+	for i := range d.Results {
+		r := &d.Results[i]
+		base, _, _ := strings.Cut(r.Name, "-")
+		cold, ok := byBase[strings.TrimSuffix(base, "Warm")]
+		if !strings.HasSuffix(base, "Warm") || !ok || r.NsPerOp == 0 {
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = make(map[string]float64)
+		}
+		r.Metrics["speedup_vs_cold"] = cold / r.NsPerOp
+	}
+}
 
 func main() {
 	out := flag.String("out", "", "write parsed results to this JSON file")
@@ -49,6 +74,8 @@ func main() {
 			d.Goarch = strings.TrimPrefix(line, "goarch: ")
 		case strings.HasPrefix(line, "cpu: "):
 			d.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			d.Pkg = strings.TrimPrefix(line, "pkg: ")
 		}
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
@@ -76,6 +103,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
 	}
+	deriveSpeedups(&d)
 	if *out == "" {
 		return
 	}

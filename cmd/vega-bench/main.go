@@ -36,16 +36,18 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment to run")
-	epochs   = flag.Int("epochs", 26, "fine-tuning epochs")
-	samples  = flag.Int("samples", 2600, "max training samples")
-	seed     = flag.Int64("seed", 1, "random seed")
-	fast     = flag.Bool("fast", false, "reduced budgets everywhere (smoke run)")
-	quiet    = flag.Bool("quiet", false, "suppress epoch logs")
-	workers  = flag.Int("workers", 0, "parallel generation workers (0 = NumCPU); output is identical for any count")
-	kworkers = flag.Int("kernel-workers", 0, "goroutines per large matmul kernel (0 = GOMAXPROCS); results are identical for any count")
-	metrics  = flag.String("metrics", "", "write stage spans and a metric snapshot to this JSON-lines file")
-	pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	expFlag   = flag.String("exp", "all", "experiment to run")
+	epochs    = flag.Int("epochs", 26, "fine-tuning epochs")
+	samples   = flag.Int("samples", 2600, "max training samples")
+	seed      = flag.Int64("seed", 1, "random seed")
+	fast      = flag.Bool("fast", false, "reduced budgets everywhere (smoke run)")
+	quiet     = flag.Bool("quiet", false, "suppress epoch logs")
+	workers   = flag.Int("workers", 0, "parallel generation workers (0 = NumCPU); output is identical for any count")
+	kworkers  = flag.Int("kernel-workers", 0, "goroutines per large matmul kernel (0 = GOMAXPROCS); results are identical for any count")
+	s1workers = flag.Int("stage1-workers", 0, "parallel templatization workers (0 = NumCPU); output is identical for any count")
+	s1dir     = flag.String("stage1-cache", "", "directory for the content-addressed Stage 1 artifact cache (empty = disabled)")
+	metrics   = flag.String("metrics", "", "write stage spans and a metric snapshot to this JSON-lines file")
+	pprofAt   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 )
 
 func main() {
@@ -142,6 +144,8 @@ func (h *harness) config() core.Config {
 	cfg.MaxSamples = *samples
 	cfg.Workers = *workers
 	cfg.KernelWorkers = *kworkers
+	cfg.Stage1Workers = *s1workers
+	cfg.Stage1Cache = *s1dir
 	cfg.Obs = h.obs
 	if *fast {
 		cfg.Train.Epochs = 3

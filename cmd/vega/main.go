@@ -42,21 +42,23 @@ import (
 
 func main() {
 	var (
-		target   = flag.String("target", "RISCV", "held-out target to generate (RISCV, RI5CY, XCore)")
-		epochs   = flag.Int("epochs", 14, "fine-tuning epochs")
-		samples  = flag.Int("samples", 2600, "max deduplicated training samples")
-		arch     = flag.String("arch", "transformer", "model architecture: transformer, gru, bert")
-		outDir   = flag.String("out", "", "directory to write generated functions into")
-		seed     = flag.Int64("seed", 1, "random seed")
-		quiet    = flag.Bool("quiet", false, "suppress per-epoch logs")
-		evaluap  = flag.Bool("eval", true, "run pass@1 evaluation against the reference backend")
-		saveCk   = flag.String("save", "", "write a model checkpoint after training")
-		loadCk   = flag.String("load", "", "load a model checkpoint instead of training")
-		timeout  = flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
-		workers  = flag.Int("workers", 0, "parallel generation workers (0 = NumCPU); output is identical for any count")
-		kworkers = flag.Int("kernel-workers", 0, "goroutines per large matmul kernel (0 = GOMAXPROCS); results are identical for any count")
-		metrics  = flag.String("metrics", "", "write stage spans and a metric snapshot to this JSON-lines file")
-		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		target    = flag.String("target", "RISCV", "held-out target to generate (RISCV, RI5CY, XCore)")
+		epochs    = flag.Int("epochs", 14, "fine-tuning epochs")
+		samples   = flag.Int("samples", 2600, "max deduplicated training samples")
+		arch      = flag.String("arch", "transformer", "model architecture: transformer, gru, bert")
+		outDir    = flag.String("out", "", "directory to write generated functions into")
+		seed      = flag.Int64("seed", 1, "random seed")
+		quiet     = flag.Bool("quiet", false, "suppress per-epoch logs")
+		evaluap   = flag.Bool("eval", true, "run pass@1 evaluation against the reference backend")
+		saveCk    = flag.String("save", "", "write a model checkpoint after training")
+		loadCk    = flag.String("load", "", "load a model checkpoint instead of training")
+		timeout   = flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
+		workers   = flag.Int("workers", 0, "parallel generation workers (0 = NumCPU); output is identical for any count")
+		kworkers  = flag.Int("kernel-workers", 0, "goroutines per large matmul kernel (0 = GOMAXPROCS); results are identical for any count")
+		s1workers = flag.Int("stage1-workers", 0, "parallel templatization workers (0 = NumCPU); output is identical for any count")
+		s1cache   = flag.String("stage1-cache", "", "directory for the content-addressed Stage 1 artifact cache (empty = disabled)")
+		metrics   = flag.String("metrics", "", "write stage spans and a metric snapshot to this JSON-lines file")
+		pprofAt   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -102,6 +104,8 @@ func main() {
 	cfg.Arch = *arch
 	cfg.Workers = *workers
 	cfg.KernelWorkers = *kworkers
+	cfg.Stage1Workers = *s1workers
+	cfg.Stage1Cache = *s1cache
 	cfg.Obs = o
 	if !*quiet {
 		cfg.Train.Verbose = func(e int, l float64) {

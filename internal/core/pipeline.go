@@ -12,12 +12,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"vega/internal/corpus"
 	"vega/internal/feature"
 	"vega/internal/model"
 	"vega/internal/obs"
+	"vega/internal/s1cache"
 	"vega/internal/template"
 )
 
@@ -78,6 +80,19 @@ type Config struct {
 	// kernel default of GOMAXPROCS. Results are bit-identical for any
 	// value; the knob only trades latency for CPU.
 	KernelWorkers int
+	// Stage1Workers bounds the templatization worker pool: how many
+	// function groups Stage 1 templatizes and feature-mines concurrently
+	// in New. 0 or negative means runtime.NumCPU(). Results are merged
+	// back in corpus.AllFuncs() order, so output is byte-identical for
+	// any worker count — the same determinism contract as Workers and
+	// KernelWorkers.
+	Stage1Workers int
+	// Stage1Cache names a directory for the content-addressed Stage 1
+	// artifact cache (internal/s1cache). Empty disables caching. On a
+	// hit, New restores templates and features from disk and skips
+	// templatization entirely; corrupt entries are detected, rebuilt,
+	// and overwritten.
+	Stage1Cache string
 	// Obs receives spans and metrics from every stage. nil (the
 	// default) disables observability entirely: instruments degrade to
 	// nil no-ops with no allocation or lock contention on any hot path.
@@ -125,6 +140,11 @@ type Pipeline struct {
 	Vocab     *model.Vocab
 	Model     model.Seq2Seq
 
+	// byName indexes Groups by interface-function name; built once in
+	// New so the per-function lookups of the eval and generation paths
+	// stay O(1).
+	byName map[string]*Group
+
 	// TrainFns / VerifyFns are the (group, target) pairs of the 75/25
 	// split, as "funcName/target" keys.
 	TrainFns  map[string]bool
@@ -154,7 +174,9 @@ type Pipeline struct {
 }
 
 // New builds the pipeline through Stage 1 (templates + features) over the
-// given corpus.
+// given corpus. Templatization fans out over Cfg.Stage1Workers goroutines
+// and, when Cfg.Stage1Cache names a directory, is skipped entirely on a
+// content-addressed cache hit; both paths produce byte-identical state.
 func New(c *corpus.Corpus, cfg Config) (*Pipeline, error) {
 	p := &Pipeline{
 		Cfg:       cfg,
@@ -165,8 +187,63 @@ func New(c *corpus.Corpus, cfg Config) (*Pipeline, error) {
 		gm:        newGenMetrics(cfg.Obs),
 	}
 	o := cfg.Obs
+
+	var cache *s1cache.Cache
+	var cacheKey string
+	if cfg.Stage1Cache != "" {
+		cache = &s1cache.Cache{Dir: cfg.Stage1Cache}
+		cacheKey = s1cache.Key(c, s1cache.KeyConfig{
+			Seed:           cfg.Seed,
+			TrainFraction:  cfg.TrainFraction,
+			SplitByBackend: cfg.SplitByBackend,
+		})
+		if ok, err := p.loadCachedStage1(cache, cacheKey); err != nil {
+			return nil, err
+		} else if ok {
+			o.Counter("stage1.cache_hit").Inc()
+			return p, p.finishStage1()
+		}
+		o.Counter("stage1.cache_miss").Inc()
+	}
+
 	span := o.StartSpan("stage1/templatize")
-	training := c.TrainingBackends()
+	if err := p.templatize(); err != nil {
+		span.End()
+		return nil, err
+	}
+	span.SetAttr(obs.Int("groups", len(p.Groups)))
+	span.End()
+
+	if cache != nil {
+		snap := &s1cache.Snapshot{Groups: make([]s1cache.Group, len(p.Groups))}
+		for i, g := range p.Groups {
+			snap.Groups[i] = s1cache.Group{
+				FuncName: g.Func.Name, Targets: g.Targets, FT: g.FT, TF: g.TF,
+			}
+		}
+		if err := cache.Store(cacheKey, snap); err != nil {
+			// A read-only or full cache directory must not fail the
+			// build; the next run simply misses again.
+			o.Counter("stage1.cache_store_errors").Inc()
+		}
+	}
+	return p, p.finishStage1()
+}
+
+// templatize runs Stage 1 proper: every function group is templatized
+// and feature-mined, fanned out over a bounded worker pool. Groups are
+// assembled serially in corpus.AllFuncs() order first and merged back by
+// index, so the result is byte-identical for any worker count (the
+// extractor and source-tree caches are mutex-safe and memoize pure
+// functions, so scheduling order cannot leak into the output).
+func (p *Pipeline) templatize() error {
+	training := p.Corpus.TrainingBackends()
+	type work struct {
+		ifn     corpus.InterfaceFunc
+		impls   []template.Impl
+		targets []string
+	}
+	var jobs []work
 	for _, ifn := range corpus.AllFuncs() {
 		group := corpus.FunctionGroup(training, ifn.Name)
 		if len(group) == 0 {
@@ -182,26 +259,102 @@ func New(c *corpus.Corpus, cfg Config) (*Pipeline, error) {
 			impls = append(impls, template.NewImpl(b.Target.Name, fn))
 			targets = append(targets, b.Target.Name)
 		}
-		ft, err := template.Build(ifn.Name, impls)
-		if err != nil {
-			return nil, fmt.Errorf("core: templatize %s: %w", ifn.Name, err)
-		}
-		ft.Module = string(ifn.Module)
-		tf := p.Extractor.Select(ft, targets)
-		p.Groups = append(p.Groups, &Group{Func: ifn, FT: ft, TF: tf, Targets: targets})
+		jobs = append(jobs, work{ifn: ifn, impls: impls, targets: targets})
 	}
-	span.SetAttr(obs.Int("groups", len(p.Groups)))
-	span.End()
+
+	workers := p.Cfg.Stage1Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	groups := make([]*Group, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				ft, err := template.Build(j.ifn.Name, j.impls)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: templatize %s: %w", j.ifn.Name, err)
+					continue
+				}
+				ft.Module = string(j.ifn.Module)
+				tf := p.Extractor.Select(ft, j.targets)
+				groups[i] = &Group{Func: j.ifn, FT: ft, TF: tf, Targets: j.targets}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs { // first error in group order, deterministically
+		if err != nil {
+			return err
+		}
+	}
+	p.Groups = groups
+	return nil
+}
+
+// finishStage1 runs the split, builds the name index, and records the
+// Stage 1 gauges — shared by the cached and rebuilt paths.
+func (p *Pipeline) finishStage1() error {
+	o := p.Cfg.Obs
 	splitSpan := o.StartSpan("stage1/split")
 	err := p.split()
 	splitSpan.End()
 	if err != nil {
-		return nil, err
+		return err
+	}
+	p.byName = make(map[string]*Group, len(p.Groups))
+	for _, g := range p.Groups {
+		p.byName[g.Func.Name] = g
 	}
 	o.Gauge("stage1.groups").Set(float64(len(p.Groups)))
 	o.Gauge("split.train_functions").Set(float64(len(p.TrainFns)))
 	o.Gauge("split.verify_functions").Set(float64(len(p.VerifyFns)))
-	return p, nil
+	return nil
+}
+
+// loadCachedStage1 tries to restore Stage 1 state from the cache. ok
+// reports a usable hit; a miss or a detected-corrupt entry returns ok
+// false (the caller rebuilds and overwrites). Only non-cache I/O errors
+// are returned.
+func (p *Pipeline) loadCachedStage1(cache *s1cache.Cache, key string) (ok bool, err error) {
+	span := p.Cfg.Obs.StartSpan("stage1/load_cached", obs.String("key", key[:12]))
+	defer span.End()
+	snap, err := cache.Load(key)
+	if errors.Is(err, s1cache.ErrMiss) {
+		return false, nil
+	}
+	if errors.Is(err, s1cache.ErrCorrupt) {
+		p.Cfg.Obs.Counter("stage1.cache_corrupt").Inc()
+		return false, nil
+	}
+	if err != nil {
+		return false, nil // unreadable cache degrades to a rebuild
+	}
+	groups := make([]*Group, len(snap.Groups))
+	for i, cg := range snap.Groups {
+		ifn, found := corpus.FuncByName(cg.FuncName)
+		if !found {
+			// The cached function set no longer matches the build —
+			// treat as corrupt and rebuild.
+			p.Cfg.Obs.Counter("stage1.cache_corrupt").Inc()
+			return false, nil
+		}
+		groups[i] = &Group{Func: ifn, FT: cg.FT, TF: cg.TF, Targets: cg.Targets}
+	}
+	p.Groups = groups
+	return true, nil
 }
 
 // split performs the 75/25 train/verification split, either per function
@@ -269,14 +422,10 @@ func (p *Pipeline) split() error {
 	return nil
 }
 
-// GroupByName returns the group for an interface function.
+// GroupByName returns the group for an interface function; O(1) via the
+// index built in New.
 func (p *Pipeline) GroupByName(name string) *Group {
-	for _, g := range p.Groups {
-		if g.Func.Name == name {
-			return g
-		}
-	}
-	return nil
+	return p.byName[name]
 }
 
 // Stats summarizes the pipeline for logs and docs.

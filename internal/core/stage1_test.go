@@ -1,0 +1,197 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vega/internal/feature"
+	"vega/internal/obs"
+	"vega/internal/template"
+)
+
+// stage1Fingerprint serializes everything Stage 1 produces — templates,
+// features, targets, and the train/verify split — as JSON. encoding/json
+// sorts map keys, so equal state always yields equal bytes; any
+// divergence between two pipelines shows up as a byte difference.
+func stage1Fingerprint(t *testing.T, p *Pipeline) string {
+	t.Helper()
+	type groupView struct {
+		Name    string
+		Module  string
+		Targets []string
+		FT      *template.FunctionTemplate
+		TF      *feature.TemplateFeatures
+	}
+	view := struct {
+		Groups    []groupView
+		TrainFns  map[string]bool
+		VerifyFns map[string]bool
+	}{TrainFns: p.TrainFns, VerifyFns: p.VerifyFns}
+	for _, g := range p.Groups {
+		view.Groups = append(view.Groups, groupView{
+			Name: g.Func.Name, Module: string(g.Func.Module),
+			Targets: g.Targets, FT: g.FT, TF: g.TF,
+		})
+	}
+	raw, err := json.Marshal(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestStage1WorkersDeterminism is the parallel-templatization contract:
+// the serialized Stage 1 state is byte-identical for any worker count.
+// Run under -race this also exercises the worker pool for data races.
+func TestStage1WorkersDeterminism(t *testing.T) {
+	c := testCorpus(t)
+	var want string
+	for _, workers := range []int{1, 3, 8} {
+		cfg := tinyConfig()
+		cfg.Stage1Workers = workers
+		p, err := New(c, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := stage1Fingerprint(t, p)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d: Stage 1 state differs from workers=1", workers)
+		}
+	}
+}
+
+// counterValue flushes o and reads a counter from the mem sink (0 when
+// the counter never fired).
+func counterValue(o *obs.Obs, mem *obs.MemSink, name string) float64 {
+	o.Flush()
+	m, ok := mem.Metric(name)
+	if !ok {
+		return 0
+	}
+	return m.Value
+}
+
+// TestStage1CacheRoundTrip drives the content-addressed cache through
+// miss → populate → hit and requires the cached pipeline to be
+// byte-identical to the rebuilt one.
+func TestStage1CacheRoundTrip(t *testing.T) {
+	c := testCorpus(t)
+	dir := t.TempDir()
+
+	baseline, err := New(c, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stage1Fingerprint(t, baseline)
+
+	mem := &obs.MemSink{}
+	o := obs.New(mem)
+	cfg := tinyConfig()
+	cfg.Stage1Cache = dir
+	cfg.Obs = o
+	cold, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(o, mem, "stage1.cache_miss"); got != 1 {
+		t.Fatalf("cold run: cache_miss = %v, want 1", got)
+	}
+	if got := counterValue(o, mem, "stage1.cache_hit"); got != 0 {
+		t.Fatalf("cold run: cache_hit = %v, want 0", got)
+	}
+	if got := stage1Fingerprint(t, cold); got != want {
+		t.Fatal("cold (cache-miss) pipeline differs from uncached build")
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.s1"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries = %v (err %v), want exactly one", entries, err)
+	}
+
+	mem2 := &obs.MemSink{}
+	o2 := obs.New(mem2)
+	cfg.Obs = o2
+	warm, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(o2, mem2, "stage1.cache_hit"); got != 1 {
+		t.Fatalf("warm run: cache_hit = %v, want 1", got)
+	}
+	if got := counterValue(o2, mem2, "stage1.cache_miss"); got != 0 {
+		t.Fatalf("warm run: cache_miss = %v, want 0", got)
+	}
+	if got := stage1Fingerprint(t, warm); got != want {
+		t.Fatal("warm (cache-hit) pipeline differs from uncached build")
+	}
+	// The hit path must still produce a fully wired pipeline.
+	if g := warm.GroupByName("getRelocType"); g == nil || g.TF.FT != g.FT {
+		t.Fatal("cache hit left GroupByName index or TF.FT link broken")
+	}
+}
+
+// TestStage1CacheCorruptRebuild flips a payload byte in the only cache
+// entry and requires the next build to detect the corruption, rebuild
+// from scratch, and overwrite the entry with a good one.
+func TestStage1CacheCorruptRebuild(t *testing.T) {
+	c := testCorpus(t)
+	dir := t.TempDir()
+
+	cfg := tinyConfig()
+	cfg.Stage1Cache = dir
+	first, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stage1Fingerprint(t, first)
+
+	entries, _ := filepath.Glob(filepath.Join(dir, "*.s1"))
+	if len(entries) != 1 {
+		t.Fatalf("cache entries = %v, want one", entries)
+	}
+	raw, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x20 // flip a bit deep in the gob payload
+	if err := os.WriteFile(entries[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mem := &obs.MemSink{}
+	o := obs.New(mem)
+	cfg.Obs = o
+	rebuilt, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(o, mem, "stage1.cache_corrupt"); got != 1 {
+		t.Fatalf("cache_corrupt = %v, want 1", got)
+	}
+	if got := counterValue(o, mem, "stage1.cache_hit"); got != 0 {
+		t.Fatalf("cache_hit = %v, want 0 after corruption", got)
+	}
+	if got := stage1Fingerprint(t, rebuilt); got != want {
+		t.Fatal("rebuild after corruption differs from original state")
+	}
+
+	// The rebuild overwrote the corrupt entry: the next run hits clean.
+	mem2 := &obs.MemSink{}
+	o2 := obs.New(mem2)
+	cfg.Obs = o2
+	healed, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(o2, mem2, "stage1.cache_hit"); got != 1 {
+		t.Fatalf("after heal: cache_hit = %v, want 1", got)
+	}
+	if got := stage1Fingerprint(t, healed); got != want {
+		t.Fatal("healed cache entry decodes to different state")
+	}
+}

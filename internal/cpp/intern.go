@@ -1,0 +1,55 @@
+package cpp
+
+import (
+	"strings"
+	"sync"
+)
+
+// Token interning. Backend code re-uses a small vocabulary of
+// identifiers (getRelocType, Fixups, MCExpr, ...) across thousands of
+// statements, and the lexer runs over every statement text again during
+// templatization and alignment. Handing out one canonical string per
+// distinct token text keeps equal tokens pointer-equal — string
+// comparison and map hashing hit their fast paths — and lets the big
+// per-file source strings be collected instead of being pinned by
+// token substrings.
+var interner = struct {
+	sync.RWMutex
+	m map[string]string
+}{m: make(map[string]string, 1024)}
+
+// singleByte holds canonical one-byte strings so single-character
+// punctuation never allocates.
+var singleByte [256]string
+
+func init() {
+	for i := range singleByte {
+		singleByte[i] = string(rune(i))
+	}
+	for kw := range keywords {
+		interner.m[kw] = kw
+	}
+}
+
+// Intern returns the canonical copy of s, detached from any larger
+// backing array. Safe for concurrent use.
+func Intern(s string) string {
+	if len(s) == 1 {
+		return singleByte[s[0]]
+	}
+	interner.RLock()
+	c, ok := interner.m[s]
+	interner.RUnlock()
+	if ok {
+		return c
+	}
+	c = strings.Clone(s) // detach from the source file's backing array
+	interner.Lock()
+	if prev, ok := interner.m[c]; ok {
+		c = prev
+	} else {
+		interner.m[c] = c
+	}
+	interner.Unlock()
+	return c
+}

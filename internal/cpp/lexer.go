@@ -130,7 +130,7 @@ func (l *Lexer) Next() (Token, error) {
 		for l.off < len(l.src) && isIdentCont(l.peek()) {
 			l.advance()
 		}
-		text := l.src[start:l.off]
+		text := Intern(l.src[start:l.off])
 		kind := TokIdent
 		if keywords[text] {
 			kind = TokKeyword
@@ -210,7 +210,7 @@ func (l *Lexer) lexNumber(pos Pos) (Token, error) {
 	for l.off < len(l.src) && strings.ContainsRune("uUlLfF", rune(l.peek())) {
 		l.advance()
 	}
-	return Token{Kind: TokNumber, Text: l.src[start:l.off], Pos: pos}, nil
+	return Token{Kind: TokNumber, Text: Intern(l.src[start:l.off]), Pos: pos}, nil
 }
 
 func isHexDigit(c byte) bool {
@@ -282,7 +282,7 @@ func (l *Lexer) lexPunct(pos Pos) (Token, error) {
 	c := l.peek()
 	if strings.ContainsRune("+-*/%<>=!&|^~?:;,.(){}[]", rune(c)) {
 		l.advance()
-		return Token{Kind: TokPunct, Text: string(c), Pos: pos}, nil
+		return Token{Kind: TokPunct, Text: Intern(l.src[l.off-1 : l.off]), Pos: pos}, nil
 	}
 	return Token{}, l.errorf("unexpected character %q", c)
 }

@@ -184,7 +184,15 @@ type Extractor struct {
 	// deterministic and idempotent, so coarse serialization is enough.
 	mu          sync.Mutex
 	tdCache     map[string]*tablegen.TDFile
+	tdFailed    map[string]bool // negative cache: paths whose parse errored
 	recordCache map[string]*recordMaps
+
+	// pmCache memoizes PartialMatch verdicts. The same (token, RHS)
+	// pairs recur across every group and target — common-code tokens
+	// repeat fleet-wide — and the camel-case run expansion inside
+	// PartialMatch is costly enough to dominate Stage 1 without this.
+	pmMu    sync.Mutex
+	pmCache map[[2]string]bool
 }
 
 // recordMaps indexes one target's TableGen records (plus the LLVM core's).
@@ -211,7 +219,9 @@ func NewExtractor(tree *tablegen.SourceTree, llvmDirs []string) *Extractor {
 	e := &Extractor{
 		Tree: tree, LLVMDirs: llvmDirs,
 		tdCache:     make(map[string]*tablegen.TDFile),
+		tdFailed:    make(map[string]bool),
 		recordCache: make(map[string]*recordMaps),
+		pmCache:     make(map[[2]string]bool),
 	}
 	e.buildPropList()
 	return e
@@ -224,19 +234,42 @@ func (e *Extractor) parseTD(path string) (*tablegen.TDFile, bool) {
 	return e.parseTDLocked(path)
 }
 
-// parseTDLocked is parseTD for callers already holding e.mu.
+// parseTDLocked is parseTD for callers already holding e.mu. Parse
+// failures are remembered in a separate negative cache (tdFailed), so a
+// cached failure reports !ok exactly like the first attempt did — it is
+// never conflated with a successfully parsed (possibly empty) file.
 func (e *Extractor) parseTDLocked(path string) (*tablegen.TDFile, bool) {
 	if td, ok := e.tdCache[path]; ok {
-		return td, td != nil
+		return td, true
+	}
+	if e.tdFailed[path] {
+		return nil, false
 	}
 	content, _ := e.Tree.Content(path)
 	td, err := tablegen.ParseTD(content)
 	if err != nil {
-		e.tdCache[path] = nil
+		e.tdFailed[path] = true
 		return nil, false
 	}
 	e.tdCache[path] = td
 	return td, true
+}
+
+// partialMatch is PartialMatch with per-extractor memoization; exact,
+// safe for concurrent use.
+func (e *Extractor) partialMatch(tok, str string) bool {
+	key := [2]string{tok, str}
+	e.pmMu.Lock()
+	v, ok := e.pmCache[key]
+	e.pmMu.Unlock()
+	if ok {
+		return v
+	}
+	v = PartialMatch(tok, str)
+	e.pmMu.Lock()
+	e.pmCache[key] = v
+	e.pmMu.Unlock()
+	return v
 }
 
 // buildPropList gathers class names, enum names and global variables

@@ -1,0 +1,43 @@
+package feature
+
+import (
+	"testing"
+
+	"vega/internal/tablegen"
+)
+
+// TestParseTDNegativeCache pins the parseTD failure semantics: a .td
+// file that fails to parse is remembered in the dedicated negative cache
+// and keeps reporting !ok on every later call — it is never stored as a
+// nil success, and never conflated with a file that parses to an empty
+// (but valid) TDFile.
+func TestParseTDNegativeCache(t *testing.T) {
+	tree := tablegen.NewSourceTree()
+	tree.Add("lib/Target/ARM/Bad.td", "def Foo {") // unterminated record body
+	tree.Add("lib/Target/ARM/Empty.td", "")        // valid, parses to an empty file
+	e := NewExtractor(tree, []string{"llvm/MC"})
+
+	for i := 0; i < 2; i++ { // second round is served from the caches
+		if td, ok := e.parseTD("lib/Target/ARM/Bad.td"); ok || td != nil {
+			t.Fatalf("round %d: bad file parsed: td=%v ok=%v", i, td, ok)
+		}
+		if td, ok := e.parseTD("lib/Target/ARM/Empty.td"); !ok || td == nil {
+			t.Fatalf("round %d: valid empty file rejected: td=%v ok=%v", i, td, ok)
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.tdFailed["lib/Target/ARM/Bad.td"] {
+		t.Fatal("parse failure not recorded in the negative cache")
+	}
+	if _, ok := e.tdCache["lib/Target/ARM/Bad.td"]; ok {
+		t.Fatal("failed parse leaked into the success cache")
+	}
+	if _, ok := e.tdCache["lib/Target/ARM/Empty.td"]; !ok {
+		t.Fatal("valid empty parse missing from the success cache")
+	}
+	if e.tdFailed["lib/Target/ARM/Empty.td"] {
+		t.Fatal("valid empty parse landed in the negative cache")
+	}
+}

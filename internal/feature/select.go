@@ -216,7 +216,7 @@ func (e *Extractor) partialAssignProp(tok string, tgtDirs []string) (string, str
 		if !a.IsStr || !e.InPropList(a.LHS) {
 			continue
 		}
-		if PartialMatch(tok, a.RHS) {
+		if e.partialMatch(tok, a.RHS) {
 			return a.LHS, a.Path, true
 		}
 	}
@@ -286,7 +286,7 @@ func (e *Extractor) discoverDependent(val, target string) (Property, bool) {
 	}
 	// Case 2: partial match against assignment RHS.
 	for _, a := range e.Tree.AssignmentsUnder(tgtDirs) {
-		if a.IsStr && e.InPropList(a.LHS) && PartialMatch(val, a.RHS) {
+		if a.IsStr && e.InPropList(a.LHS) && e.partialMatch(val, a.RHS) {
 			return Property{
 				Name: a.LHS, Kind: Dependent, Method: MethodAssign,
 				IdentifiedSite: e.propSites[a.LHS],
@@ -587,17 +587,21 @@ func PartialMatch(tok, str string) bool {
 	return false
 }
 
-// normalize uppercases and strips separators.
+// normalize uppercases and strips separators. Byte-wise: ASCII letters
+// are uppercased in place and non-ASCII bytes pass through unchanged,
+// which is exactly what the rune-wise version produced.
 func normalize(s string) string {
 	var b strings.Builder
-	for _, r := range s {
-		if r == '_' || r == ' ' {
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' || c == ' ' {
 			continue
 		}
-		if r >= 'a' && r <= 'z' {
-			r -= 32
+		if c >= 'a' && c <= 'z' {
+			c -= 32
 		}
-		b.WriteRune(r)
+		b.WriteByte(c)
 	}
 	return b.String()
 }

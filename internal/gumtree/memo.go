@@ -1,0 +1,56 @@
+package gumtree
+
+import "strings"
+
+// SimCache memoizes token-sequence similarity. Templatization's
+// best-of-targets inner loop asks for Similarity of the same (row
+// statement, implementation statement) token lists over and over as the
+// template accumulates targets; interning each distinct token list to a
+// small integer id and caching the LCS-based similarity per id pair
+// turns those repeats into map hits. Results are exactly the values
+// Similarity would return — identical token lists share one id, so no
+// hash collision can change a score.
+//
+// A SimCache is not safe for concurrent use; give each alignment its
+// own.
+type SimCache struct {
+	ids   map[string]int // joined token key -> id
+	lists [][]string     // id -> token list
+	cache map[uint64]float64
+}
+
+// NewSimCache returns an empty cache.
+func NewSimCache() *SimCache {
+	return &SimCache{ids: make(map[string]int), cache: make(map[uint64]float64)}
+}
+
+// Intern returns the id of a token list, assigning one on first sight.
+// Identical lists (element-wise) always share an id.
+func (c *SimCache) Intern(toks []string) int {
+	key := strings.Join(toks, "\x00")
+	if id, ok := c.ids[key]; ok {
+		return id
+	}
+	id := len(c.lists)
+	c.ids[key] = id
+	c.lists = append(c.lists, toks)
+	return id
+}
+
+// Sim returns Similarity of the two interned lists, computing each
+// distinct unordered pair at most once.
+func (c *SimCache) Sim(a, b int) float64 {
+	if a == b {
+		return 1
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := uint64(a)<<32 | uint64(b)
+	if v, ok := c.cache[key]; ok {
+		return v
+	}
+	v := Similarity(c.lists[a], c.lists[b])
+	c.cache[key] = v
+	return v
+}

@@ -1,0 +1,217 @@
+// Package s1cache persists Stage 1 artifacts — function templates and
+// their mined feature schemas — in a content-addressed on-disk cache, so
+// repeated pipeline builds over an unchanged corpus (CLI runs, the bench
+// harness, the eval loop) skip templatization and feature selection
+// entirely.
+//
+// Entries are addressed by a SHA-256 key over the corpus sources and the
+// Stage-1-relevant configuration (see Key), so any change to a source
+// file, the fleet, the interface-function set, or the split parameters
+// produces a different key and a clean miss — there is no invalidation
+// protocol to get wrong. Files follow the checkpoint discipline of
+// internal/core: a self-verifying header (magic, format version, payload
+// length, SHA-256 of the payload) over a gob payload, written atomically
+// (temp file, fsync, rename), so torn or bit-flipped entries surface as
+// ErrCorrupt and callers fall back to a rebuild.
+package s1cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"vega/internal/corpus"
+	"vega/internal/feature"
+	"vega/internal/template"
+)
+
+var (
+	// ErrMiss marks a key with no cache entry.
+	ErrMiss = errors.New("s1cache: miss")
+	// ErrCorrupt marks an entry that failed self-verification; callers
+	// should rebuild and overwrite.
+	ErrCorrupt = errors.New("s1cache: entry corrupt")
+)
+
+var magic = [8]byte{'V', 'E', 'G', 'A', 'S', '1', 'C', 'H'}
+
+// formatVersion is bumped whenever the snapshot layout or the meaning of
+// cached artifacts changes; it participates in the key, so stale-format
+// entries are simply never addressed.
+const formatVersion = 1
+
+// headerLen is magic(8) + version(4) + payload length(8) + sha256(32).
+const headerLen = 8 + 4 + 8 + sha256.Size
+
+// Group is one cached function group: everything core rebuilds per
+// group during Stage 1 except the live extractor. The interface function
+// itself is stored by name and re-resolved against corpus.AllFuncs on
+// load (it carries a generator closure that cannot be serialized).
+type Group struct {
+	FuncName string
+	Targets  []string
+	FT       *template.FunctionTemplate
+	TF       *feature.TemplateFeatures
+}
+
+// Snapshot is a full Stage 1 result set, in corpus.AllFuncs order.
+type Snapshot struct {
+	Groups []Group
+}
+
+// KeyConfig is the Stage-1-relevant slice of the pipeline config: the
+// fields that shape templates, features, or the train/verify split.
+type KeyConfig struct {
+	Seed           int64
+	TrainFraction  float64
+	SplitByBackend bool
+}
+
+// Key computes the content address for a corpus + config pair: a SHA-256
+// over the cache format version, the split-relevant config, the
+// interface-function set, the training fleet, every rendered backend
+// source, and every source-tree file. Any difference in inputs yields a
+// different key.
+func Key(c *corpus.Corpus, cfg KeyConfig) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d|seed=%d|frac=%g|bybackend=%t\n",
+		formatVersion, cfg.Seed, cfg.TrainFraction, cfg.SplitByBackend)
+	for _, f := range corpus.AllFuncs() {
+		fmt.Fprintf(h, "fn|%s|%s\n", f.Name, f.Module)
+	}
+	for _, t := range c.Targets {
+		fmt.Fprintf(h, "tgt|%s|eval=%t\n", t.Name, t.Eval)
+		b := c.Backends[t.Name]
+		if b == nil {
+			continue
+		}
+		names := make([]string, 0, len(b.Sources))
+		for n := range b.Sources {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(h, "src|%s|%d|", n, len(b.Sources[n]))
+			h.Write([]byte(b.Sources[n]))
+			h.Write([]byte{'\n'})
+		}
+	}
+	for _, p := range c.Tree.Paths() {
+		content, _ := c.Tree.Content(p)
+		fmt.Fprintf(h, "file|%s|%d|", p, len(content))
+		h.Write([]byte(content))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache is a directory of content-addressed Stage 1 entries.
+type Cache struct {
+	Dir string
+}
+
+// path maps a key to its entry file.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.Dir, key+".s1")
+}
+
+// Load reads and verifies the entry for key. Returns ErrMiss when no
+// entry exists and ErrCorrupt (wrapped) when one exists but fails
+// verification or decoding.
+func (c *Cache) Load(key string) (*Snapshot, error) {
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrMiss
+		}
+		return nil, fmt.Errorf("s1cache: load: %w", err)
+	}
+	if len(raw) < headerLen || !bytes.Equal(raw[:len(magic)], magic[:]) {
+		return nil, fmt.Errorf("%w: %s: bad header", ErrCorrupt, key)
+	}
+	if v := binary.BigEndian.Uint32(raw[8:12]); v != formatVersion {
+		return nil, fmt.Errorf("%w: %s: version %d", ErrCorrupt, key, v)
+	}
+	plen := binary.BigEndian.Uint64(raw[12:20])
+	payload := raw[headerLen:]
+	if uint64(len(payload)) != plen {
+		return nil, fmt.Errorf("%w: %s: payload %d bytes, header says %d",
+			ErrCorrupt, key, len(payload), plen)
+	}
+	var want [sha256.Size]byte
+	copy(want[:], raw[20:headerLen])
+	if sha256.Sum256(payload) != want {
+		return nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, key)
+	}
+	var snap Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, key, err)
+	}
+	// Relink the template pointer the encoder detached (see Store).
+	for i := range snap.Groups {
+		if snap.Groups[i].TF != nil {
+			snap.Groups[i].TF.FT = snap.Groups[i].FT
+		}
+	}
+	return &snap, nil
+}
+
+// Store writes the entry for key atomically: encode, checksum, temp
+// file in the cache directory, fsync, rename. An existing entry for the
+// same key is replaced.
+func (c *Cache) Store(key string, snap *Snapshot) error {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return fmt.Errorf("s1cache: store: %w", err)
+	}
+	// Detach each TF's back-pointer to its template before encoding so
+	// the gob stream carries one copy of every template, not two; Load
+	// relinks. The shallow copy keeps the caller's structs untouched.
+	enc := Snapshot{Groups: make([]Group, len(snap.Groups))}
+	for i, g := range snap.Groups {
+		if g.TF != nil {
+			tf := *g.TF
+			tf.FT = nil
+			g.TF = &tf
+		}
+		enc.Groups[i] = g
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&enc); err != nil {
+		return fmt.Errorf("s1cache: store: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	buf := make([]byte, 0, headerLen+payload.Len())
+	buf = append(buf, magic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, formatVersion)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(payload.Len()))
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload.Bytes()...)
+
+	tmp, err := os.CreateTemp(c.Dir, "."+key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("s1cache: store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("s1cache: store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("s1cache: store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("s1cache: store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		return fmt.Errorf("s1cache: store: %w", err)
+	}
+	return nil
+}

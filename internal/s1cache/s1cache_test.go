@@ -1,0 +1,182 @@
+package s1cache
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vega/internal/corpus"
+	"vega/internal/feature"
+	"vega/internal/template"
+)
+
+// testSnapshot builds a small hand-rolled snapshot exercising every
+// serialized field: patterns with placeholders, per-target token maps,
+// properties, and per-target feature values.
+func testSnapshot() *Snapshot {
+	ft := &template.FunctionTemplate{
+		Name: "getRelocType", Module: "EMI",
+		Targets: []string{"ARM", "MIPS"},
+		Rows: []template.Row{
+			{
+				Pattern: []template.Elem{
+					{Text: "return"},
+					{Var: true, Text: "SV0", ID: 0},
+					{Text: ";"},
+				},
+				PerTarget: map[string][]string{
+					"ARM":  {"return", "R_ARM_NONE", ";"},
+					"MIPS": {"return", "R_MIPS_NONE", ";"},
+				},
+			},
+		},
+		NumVars: 1,
+	}
+	tf := &feature.TemplateFeatures{
+		FT: ft,
+		Props: []feature.Property{
+			{Name: "RelocNone", Kind: feature.Dependent, EnumName: "Fixups"},
+		},
+		VarProps: map[int][]int{0: {0}},
+		Targets: map[string]*feature.TargetFeatures{
+			"ARM": {
+				Target: "ARM",
+				Bools:  map[string]feature.BoolVal{"hasVI": {Value: true, UpdateSite: "ARM.td"}},
+				Deps: map[string]feature.DepInfo{
+					"RelocNone": {Candidates: []string{"R_ARM_NONE"}, UpdateSite: "ARM.td"},
+				},
+			},
+		},
+	}
+	return &Snapshot{Groups: []Group{
+		{FuncName: "getRelocType", Targets: []string{"ARM", "MIPS"}, FT: ft, TF: tf},
+	}}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	c := &Cache{Dir: t.TempDir()}
+	snap := testSnapshot()
+	if err := c.Store("k1", snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Load("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Groups) != 1 {
+		t.Fatalf("groups = %d", len(got.Groups))
+	}
+	g := got.Groups[0]
+	if g.TF.FT != g.FT {
+		t.Fatal("TF.FT not relinked to the loaded template")
+	}
+	if !reflect.DeepEqual(g.FT, snap.Groups[0].FT) {
+		t.Fatalf("template round-trip mismatch:\n got %+v\nwant %+v", g.FT, snap.Groups[0].FT)
+	}
+	if !reflect.DeepEqual(g.TF.Props, snap.Groups[0].TF.Props) ||
+		!reflect.DeepEqual(g.TF.Targets, snap.Groups[0].TF.Targets) ||
+		!reflect.DeepEqual(g.TF.VarProps, snap.Groups[0].TF.VarProps) {
+		t.Fatal("feature round-trip mismatch")
+	}
+	// Store must not have mutated the caller's snapshot (the TF.FT
+	// detach works on a shallow copy).
+	if snap.Groups[0].TF.FT != snap.Groups[0].FT {
+		t.Fatal("Store detached the caller's TF.FT pointer")
+	}
+}
+
+func TestLoadMiss(t *testing.T) {
+	c := &Cache{Dir: t.TempDir()}
+	if _, err := c.Load("nope"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("err = %v, want ErrMiss", err)
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	c := &Cache{Dir: dir}
+	if err := c.Store("k", testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "k.s1")
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"payload bit flip", func(b []byte) []byte {
+			b[headerLen+1] ^= 0x40
+			return b
+		}},
+		{"truncated payload", func(b []byte) []byte {
+			return b[:len(b)-3]
+		}},
+		{"truncated header", func(b []byte) []byte {
+			return b[:headerLen-5]
+		}},
+		{"bad magic", func(b []byte) []byte {
+			b[0] = 'X'
+			return b
+		}},
+		{"wrong version", func(b []byte) []byte {
+			b[11] = 99
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(path, tc.mut(append([]byte{}, pristine...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Load("k"); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+
+	// Overwriting with a fresh Store heals the entry.
+	if err := c.Store("k", testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load("k"); err != nil {
+		t.Fatalf("load after re-store: %v", err)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	c, err := corpus.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := KeyConfig{Seed: 1, TrainFraction: 0.75}
+	k1 := Key(c, base)
+	if k2 := Key(c, base); k2 != k1 {
+		t.Fatal("key not deterministic for identical inputs")
+	}
+	if k := Key(c, KeyConfig{Seed: 2, TrainFraction: 0.75}); k == k1 {
+		t.Fatal("seed change did not change the key")
+	}
+	if k := Key(c, KeyConfig{Seed: 1, TrainFraction: 0.5}); k == k1 {
+		t.Fatal("train-fraction change did not change the key")
+	}
+	if k := Key(c, KeyConfig{Seed: 1, TrainFraction: 0.75, SplitByBackend: true}); k == k1 {
+		t.Fatal("split-mode change did not change the key")
+	}
+	c2, err := corpus.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := Key(c2, base); k != k1 {
+		t.Fatal("key differs across identical corpus builds")
+	}
+	c2.Tree.Add("lib/Target/ARM/Extra.td", "def Extra;")
+	if k := Key(c2, base); k == k1 {
+		t.Fatal("source-tree change did not change the key")
+	}
+}

@@ -16,14 +16,25 @@ type SourceTree struct {
 	files map[string]string // path -> content
 
 	// Lazily built indexes, guarded by mu: queries may arrive from
-	// Stage 3's concurrent generation workers, and the first one to need
-	// an index builds it. Once assigned the maps are read-only (Add
-	// replaces them wholesale), so queries after the build need no lock —
-	// the build's mutex release publishes the maps.
-	mu      sync.Mutex
-	tokens  map[string]map[string]bool // path -> token set
-	assigns map[string][]Assignment    // path -> assignments
-	enums   map[string][]Enum          // path -> enums
+	// Stage 1's templatization workers and Stage 3's concurrent
+	// generation workers, and the first one to need an index builds it.
+	// Once assigned the maps are read-only (Add replaces them wholesale),
+	// so queries after the build need no lock — the build's mutex release
+	// publishes the maps.
+	mu          sync.Mutex
+	tokens      map[string]map[string]bool  // path -> token set
+	assigns     map[string][]Assignment     // path -> assignments
+	listAssigns map[string][]ListAssignment // path -> list assignments
+	enums       map[string][]Enum           // path -> enums
+
+	// Per-directory-set memos, guarded by mu on every access: the
+	// feature-selection inner loops ask for the same few TGTDIRs/LLVMDIRs
+	// slices thousands of times per pipeline build, and re-concatenating
+	// (or worse, re-lexing) per call dominated Stage 1. Returned slices
+	// are shared — callers must not mutate them.
+	pathsMemo  map[string][]string
+	assignMemo map[string][]Assignment
+	listMemo   map[string][]ListAssignment
 }
 
 // Assignment is a "key = value" pair found in a file, whether a TableGen
@@ -47,7 +58,8 @@ func (t *SourceTree) Add(path, content string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.files[path] = content
-	t.tokens, t.assigns, t.enums = nil, nil, nil
+	t.tokens, t.assigns, t.listAssigns, t.enums = nil, nil, nil, nil
+	t.pathsMemo, t.assignMemo, t.listMemo = nil, nil, nil
 }
 
 // Content returns a file's content.
@@ -67,8 +79,15 @@ func (t *SourceTree) Paths() []string {
 }
 
 // PathsUnder returns all file paths under any of the given directory
-// prefixes, sorted.
+// prefixes, sorted. The slice is memoized per directory set and shared
+// across calls — callers must not mutate it.
 func (t *SourceTree) PathsUnder(dirs []string) []string {
+	key := strings.Join(dirs, "\x00")
+	t.mu.Lock()
+	if out, ok := t.pathsMemo[key]; ok {
+		t.mu.Unlock()
+		return out
+	}
 	var out []string
 	for p := range t.files {
 		for _, d := range dirs {
@@ -79,6 +98,11 @@ func (t *SourceTree) PathsUnder(dirs []string) []string {
 		}
 	}
 	sort.Strings(out)
+	if t.pathsMemo == nil {
+		t.pathsMemo = make(map[string][]string)
+	}
+	t.pathsMemo[key] = out
+	t.mu.Unlock()
 	return out
 }
 
@@ -212,26 +236,67 @@ func scanListAssignments(path, content string) []ListAssignment {
 	return out
 }
 
-// ListAssignmentsUnder returns every list assignment in files under dirs.
-func (t *SourceTree) ListAssignmentsUnder(dirs []string) []ListAssignment {
-	var out []ListAssignment
-	for _, p := range t.PathsUnder(dirs) {
+func (t *SourceTree) buildListAssignIndex() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.listAssigns != nil {
+		return
+	}
+	listAssigns := make(map[string][]ListAssignment, len(t.files))
+	for p, c := range t.files {
 		if !strings.HasSuffix(p, ".td") {
 			continue
 		}
-		c := t.files[p]
-		out = append(out, scanListAssignments(p, c)...)
+		listAssigns[p] = scanListAssignments(p, c)
 	}
+	t.listAssigns = listAssigns
+}
+
+// ListAssignmentsUnder returns every list assignment in files under dirs.
+// The slice is memoized per directory set and shared — do not mutate.
+func (t *SourceTree) ListAssignmentsUnder(dirs []string) []ListAssignment {
+	t.buildListAssignIndex()
+	key := strings.Join(dirs, "\x00")
+	t.mu.Lock()
+	if out, ok := t.listMemo[key]; ok {
+		t.mu.Unlock()
+		return out
+	}
+	t.mu.Unlock()
+	var out []ListAssignment
+	for _, p := range t.PathsUnder(dirs) {
+		out = append(out, t.listAssigns[p]...)
+	}
+	t.mu.Lock()
+	if t.listMemo == nil {
+		t.listMemo = make(map[string][]ListAssignment)
+	}
+	t.listMemo[key] = out
+	t.mu.Unlock()
 	return out
 }
 
-// AssignmentsUnder returns every assignment in files under dirs.
+// AssignmentsUnder returns every assignment in files under dirs. The
+// slice is memoized per directory set and shared — do not mutate.
 func (t *SourceTree) AssignmentsUnder(dirs []string) []Assignment {
 	t.buildAssignIndex()
+	key := strings.Join(dirs, "\x00")
+	t.mu.Lock()
+	if out, ok := t.assignMemo[key]; ok {
+		t.mu.Unlock()
+		return out
+	}
+	t.mu.Unlock()
 	var out []Assignment
 	for _, p := range t.PathsUnder(dirs) {
 		out = append(out, t.assigns[p]...)
 	}
+	t.mu.Lock()
+	if t.assignMemo == nil {
+		t.assignMemo = make(map[string][]Assignment)
+	}
+	t.assignMemo[key] = out
+	t.mu.Unlock()
 	return out
 }
 

@@ -104,6 +104,12 @@ func Build(name string, impls []Impl) (*FunctionTemplate, error) {
 	ft := &FunctionTemplate{Name: name}
 	first := impls[0]
 	ft.Targets = append(ft.Targets, first.Target)
+	// memo caches statement-pair similarities for the whole progressive
+	// alignment; rowIDs tracks, per row, the interned ids of the distinct
+	// token lists its PerTarget map holds, so merge's best-of-targets
+	// loop never re-runs LCS on a token sequence it has already scored.
+	memo := gumtree.NewSimCache()
+	var rowIDs [][]int
 	for _, st := range first.Stmts {
 		toks := gumtree.StatementTokens(st)
 		row := Row{PerTarget: map[string][]string{first.Target: toks}}
@@ -111,27 +117,34 @@ func Build(name string, impls []Impl) (*FunctionTemplate, error) {
 			row.Pattern = append(row.Pattern, Elem{Text: t})
 		}
 		ft.Rows = append(ft.Rows, row)
+		rowIDs = append(rowIDs, []int{memo.Intern(toks)})
 	}
 	for _, impl := range impls[1:] {
-		ft.merge(impl)
+		rowIDs = ft.merge(impl, memo, rowIDs)
 	}
 	ft.renumber()
 	return ft, nil
 }
 
-// merge aligns one more implementation into the template.
-func (ft *FunctionTemplate) merge(impl Impl) {
+// merge aligns one more implementation into the template. rowIDs carries
+// the interned token-list ids per row (parallel to ft.Rows); the updated
+// slice for the merged row set is returned.
+func (ft *FunctionTemplate) merge(impl Impl, memo *gumtree.SimCache, rowIDs [][]int) [][]int {
 	implToks := make([][]string, len(impl.Stmts))
+	implIDs := make([]int, len(impl.Stmts))
 	for i, st := range impl.Stmts {
 		implToks[i] = gumtree.StatementTokens(st)
+		implIDs[i] = memo.Intern(implToks[i])
 	}
 	// Row-to-statement similarity: the best similarity against any target
 	// already recorded for the row. This keeps alignment stable as the
-	// template accumulates placeholder-heavy rows.
+	// template accumulates placeholder-heavy rows. Scoring the distinct
+	// interned lists (max is order- and multiplicity-independent) is
+	// bit-identical to scoring every PerTarget entry.
 	sim := func(i, j int) float64 {
 		best := 0.0
-		for _, toks := range ft.Rows[i].PerTarget {
-			if s := gumtree.Similarity(toks, implToks[j]); s > best {
+		for _, id := range rowIDs[i] {
+			if s := memo.Sim(id, implIDs[j]); s > best {
 				best = s
 			}
 		}
@@ -140,24 +153,42 @@ func (ft *FunctionTemplate) merge(impl Impl) {
 	pairs := gumtree.AlignFunc(len(ft.Rows), len(impl.Stmts), sim, 0.4)
 
 	var rows []Row
+	var newIDs [][]int
 	for _, p := range pairs {
 		switch {
 		case p.A >= 0 && p.B >= 0:
 			row := ft.Rows[p.A]
 			ft.mergeRow(&row, impl.Target, implToks[p.B])
 			rows = append(rows, row)
+			newIDs = append(newIDs, appendIDUnique(rowIDs[p.A], implIDs[p.B]))
 		case p.A >= 0:
 			rows = append(rows, ft.Rows[p.A])
+			newIDs = append(newIDs, rowIDs[p.A])
 		default:
 			row := Row{PerTarget: map[string][]string{impl.Target: implToks[p.B]}}
 			for _, t := range implToks[p.B] {
 				row.Pattern = append(row.Pattern, Elem{Text: t})
 			}
 			rows = append(rows, row)
+			newIDs = append(newIDs, []int{implIDs[p.B]})
 		}
 	}
 	ft.Rows = rows
 	ft.Targets = append(ft.Targets, impl.Target)
+	return newIDs
+}
+
+// appendIDUnique adds id to ids unless already present, copying so rows
+// never share a backing array.
+func appendIDUnique(ids []int, id int) []int {
+	for _, v := range ids {
+		if v == id {
+			return ids
+		}
+	}
+	out := make([]int, 0, len(ids)+1)
+	out = append(out, ids...)
+	return append(out, id)
 }
 
 // mergeRow refines a row's pattern against a new target's tokens: literal
