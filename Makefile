@@ -6,9 +6,9 @@
 GO ?= go
 
 .PHONY: check lint vet fmt-check test test-race obs-race kernels-race \
-	stage1-race build bench bench-stage1 bench-stage2 bench-stage3
+	stage1-race serve-race build bench bench-stage1 bench-stage2 bench-stage3
 
-check: lint obs-race kernels-race stage1-race test-race
+check: lint obs-race kernels-race stage1-race serve-race test-race
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,13 @@ kernels-race:
 stage1-race:
 	$(GO) test -race ./internal/s1cache
 	$(GO) test -race -run 'Stage1Workers|Stage1Cache' ./internal/core
+
+# Serving-layer race suite: the bounded scheduler, snapshot refcount
+# swap, and HTTP handlers driven concurrently — including the soak test
+# (queue cap 2, mid-run hot swap, armed serve-handler-panic fault) that
+# enforces the {200, 200-degraded, 429, 504} response contract.
+serve-race:
+	$(GO) test -race ./internal/serve
 
 # Stage-timing benchmarks, each teed through cmd/benchjson so the run
 # leaves a machine-readable artifact beside the log.

@@ -31,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"vega/internal/core"
@@ -71,8 +72,16 @@ func main() {
 	if *metrics != "" {
 		sink, err := obs.NewJSONLSink(*metrics)
 		check(err)
+		sink.FlushEvery(2 * time.Second)
 		o = obs.New(sink)
-		defer o.Close()
+		stopFlush := o.FlushEvery(10 * time.Second)
+		// check() exits through os.Exit, which skips defers — register
+		// the flush/close so metrics survive error exits too.
+		obsCleanup = func() {
+			stopFlush()
+			o.Close()
+		}
+		defer obsCleanup()
 	}
 	if *pprofAt != "" {
 		go func() {
@@ -84,8 +93,15 @@ func main() {
 		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAt)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go func() {
+		// On SIGTERM/Ctrl-C, push a metric snapshot immediately: the
+		// pipeline may take a while to observe the cancellation, and the
+		// operator wants the telemetry now.
+		<-ctx.Done()
+		o.Flush()
+	}()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -127,6 +143,9 @@ func main() {
 		if err != nil && res != nil && res.Canceled {
 			fmt.Fprintf(os.Stderr, "vega: training stopped after %d epoch(s): %v\n",
 				len(res.PretrainLosses)+len(res.EpochLosses), err)
+			if obsCleanup != nil {
+				obsCleanup()
+			}
 			os.Exit(1)
 		}
 		check(err)
@@ -183,9 +202,16 @@ func main() {
 	fmt.Printf("done in %s\n", time.Since(start).Round(time.Second))
 }
 
+// obsCleanup flushes and closes the metrics sink; set in main when
+// -metrics is active so error exits (os.Exit skips defers) still flush.
+var obsCleanup func()
+
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vega:", err)
+		if obsCleanup != nil {
+			obsCleanup()
+		}
 		os.Exit(1)
 	}
 }

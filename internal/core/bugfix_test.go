@@ -158,7 +158,7 @@ func TestDecodeEmptyBeamFallsBackToGreedy(t *testing.T) {
 	}
 	p.Model = &stubBeamModel{greedy: []int{41, 7}}
 
-	got := p.decode([]int{model.CLS})
+	got := p.decode([]int{model.CLS}, false)
 	if !reflect.DeepEqual(got, []int{41, 7}) {
 		t.Errorf("decode = %v, want the greedy result [41 7]", got)
 	}
@@ -186,7 +186,7 @@ func TestDecodeBeamUsedWhenPresent(t *testing.T) {
 	}
 	p.Model = &stubBeamModel{beams: []model.Beam{{IDs: []int{9, 9}}}, greedy: []int{1}}
 
-	if got := p.decode([]int{model.CLS}); !reflect.DeepEqual(got, []int{9, 9}) {
+	if got := p.decode([]int{model.CLS}, false); !reflect.DeepEqual(got, []int{9, 9}) {
 		t.Errorf("decode = %v, want the top beam [9 9]", got)
 	}
 	if p.BeamFallback {

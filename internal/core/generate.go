@@ -60,6 +60,15 @@ func newGenMetrics(o *obs.Obs) genMetrics {
 // function — one bad template row flags itself for review (the paper's
 // per-function confidence behaviour) instead of killing the backend.
 func (p *Pipeline) GenerateFunction(g *Group, target string) (fn *generate.Function) {
+	return p.generateFunction(g, target, false)
+}
+
+// generateFunction is GenerateFunction with a per-call greedy override:
+// greedy true bypasses beam search regardless of Cfg.BeamWidth — the
+// serving degrade ladder's beam→greedy downgrade, which must not flip
+// the pipeline-wide BeamFallback flag (it is a deliberate per-request
+// choice, not a capability failure).
+func (p *Pipeline) generateFunction(g *Group, target string, greedy bool) (fn *generate.Function) {
 	defer func() {
 		if r := recover(); r != nil {
 			fn = generate.FailedFunction(g.Func.Name, g.FT.Module, target,
@@ -78,7 +87,7 @@ func (p *Pipeline) GenerateFunction(g *Group, target string) (fn *generate.Funct
 	for ri := range g.FT.Rows {
 		in := p.rowInputTokens(g, ri, tv, target)
 		inIDs := append([]int{model.CLS}, p.Vocab.Encode(in)...)
-		outIDs := p.decode(inIDs)
+		outIDs := p.decode(inIDs, greedy)
 		fn.Statements = append(fn.Statements, p.decodeStatement(g, ri, tv, outIDs))
 	}
 	return fn
@@ -98,9 +107,10 @@ type beamSearcher interface {
 // downgrades the same way — flagged via BeamFallback and the
 // gen.beam_empty counter, never silently. The test-only uncachedDecode
 // flag swaps in the reference full-prefix decoder so differential tests
-// can compare backends bit for bit.
-func (p *Pipeline) decode(inIDs []int) []int {
-	if p.Cfg.BeamWidth > 1 {
+// can compare backends bit for bit. greedy forces greedy decoding for
+// this call only (a per-request downgrade, never flagged as a fallback).
+func (p *Pipeline) decode(inIDs []int, greedy bool) []int {
+	if p.Cfg.BeamWidth > 1 && !greedy {
 		if bs, ok := p.Model.(beamSearcher); ok {
 			var beams []model.Beam
 			if t, isT := p.Model.(*model.Transformer); isT && p.uncachedDecode {
@@ -145,8 +155,13 @@ func (p *Pipeline) decode(inIDs []int) []int {
 // empty-beam downgrades, so neither is ever indistinguishable from a
 // deliberate greedy run.
 func (p *Pipeline) fallBackToGreedy(reason string) {
-	p.BeamFallback = true
-	p.beamWarn.Do(func() { log.Printf("core: %s", reason) })
+	// Once.Do gives the flag write mutual exclusion: several pool workers
+	// (or several concurrent serving requests) can hit the downgrade at
+	// the same time, and a bare bool store from each would be a data race.
+	p.beamWarn.Do(func() {
+		p.BeamFallback = true
+		log.Printf("core: %s", reason)
+	})
 }
 
 // decodeStatement reconstructs a statement from the model's decision
@@ -229,6 +244,62 @@ func (p *Pipeline) GenerateBackend(target string) *generate.Backend {
 	return p.GenerateBackendContext(context.Background(), target)
 }
 
+// GenOptions scopes and degrades one generation request. The zero value
+// generates the complete backend exactly like GenerateBackendContext;
+// every field narrows or cheapens the run, which is what the serving
+// layer's admission/degradation ladder needs per request.
+type GenOptions struct {
+	// Modules restricts generation to these module names (corpus.Modules
+	// order is preserved regardless of the order given here). Empty means
+	// all modules.
+	Modules []string
+	// Functions restricts generation to these interface-function names.
+	// Empty means all functions in scope.
+	Functions []string
+	// MaxFunctions truncates the task list after this many functions
+	// (0 = unlimited). A truncated run is marked Backend.Truncated so the
+	// caller can surface the degradation explicitly.
+	MaxFunctions int
+	// Greedy forces greedy decoding even when Cfg.BeamWidth > 1 — the
+	// beam→greedy rung of the serving degrade ladder. It never sets
+	// BeamFallback: a requested downgrade is not a capability failure.
+	Greedy bool
+}
+
+// moduleListed reports whether module survives a Modules filter (an empty
+// filter admits everything).
+func moduleListed(filter []string, module string) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	for _, m := range filter {
+		if m == module {
+			return true
+		}
+	}
+	return false
+}
+
+// inScope reports whether a module/function pair survives both filters.
+func (o GenOptions) inScope(module, fn string) bool {
+	if !moduleListed(o.Modules, module) {
+		return false
+	}
+	if len(o.Functions) > 0 {
+		ok := false
+		for _, f := range o.Functions {
+			if f == fn {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // GenerateBackendContext is GenerateBackend with cancellation: when ctx
 // is canceled or times out mid-run, the backend generated so far is
 // returned with Partial set, so a long Stage 3 run salvages the
@@ -252,6 +323,21 @@ func (p *Pipeline) GenerateBackend(target string) *generate.Backend {
 //   - Cancellation is observed per task: workers stop picking up work,
 //     already-decoded functions are kept, and Partial is set.
 func (p *Pipeline) GenerateBackendContext(ctx context.Context, target string) *generate.Backend {
+	return p.GenerateBackendOptions(ctx, target, GenOptions{})
+}
+
+// GenerateBackendOptions is GenerateBackendContext narrowed by opt: the
+// request can scope generation to a module subset or an explicit function
+// list, truncate after MaxFunctions (marked Truncated), and force greedy
+// decoding. The cancellation, panic-isolation, determinism, and Seconds
+// contracts of GenerateBackendContext hold unchanged within the scope.
+//
+// The method is safe for concurrent use: model weights and Stage 1 state
+// are read-only after training, metrics are atomic, and all per-run state
+// lives on the stack — overlapping calls against one shared pipeline (the
+// serving snapshot case) produce bit-identical results to serial runs
+// (enforced by internal/serve's concurrency differential test).
+func (p *Pipeline) GenerateBackendOptions(ctx context.Context, target string, opt GenOptions) *generate.Backend {
 	ctx = obs.With(ctx, p.Cfg.Obs)
 	ctx, span := obs.Start(ctx, "stage3/generate", obs.String("target", target))
 	defer span.End()
@@ -270,12 +356,19 @@ func (p *Pipeline) GenerateBackendContext(ctx context.Context, target string) *g
 	}
 	var tasks []task
 	for _, m := range corpus.Modules {
+		if !moduleListed(opt.Modules, string(m)) {
+			continue
+		}
 		if faultinject.Should(faultinject.GenerateCancel, string(m)) {
 			b.Partial = true
 			break
 		}
 		for _, g := range p.Groups {
-			if g.FT.Module == string(m) {
+			if g.FT.Module == string(m) && opt.inScope(string(m), g.Func.Name) {
+				if opt.MaxFunctions > 0 && len(tasks) >= opt.MaxFunctions {
+					b.Truncated = true
+					continue
+				}
 				tasks = append(tasks, task{g, string(m)})
 			}
 		}
@@ -317,7 +410,7 @@ func (p *Pipeline) GenerateBackendContext(ctx context.Context, target string) *g
 					obs.String("func", tasks[i].g.Func.Name),
 					obs.String("module", tasks[i].module))
 				start := time.Now()
-				results[i] = p.GenerateFunction(tasks[i].g, target)
+				results[i] = p.generateFunction(tasks[i].g, target, opt.Greedy)
 				durs[i] = time.Since(start).Seconds()
 				fnSpan.End()
 				p.gm.functions.Inc()

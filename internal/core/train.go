@@ -49,6 +49,32 @@ func (p *Pipeline) TrainingData() []model.Sample {
 	return p.dedupAndCap(all, p.Cfg.MaxSamples, p.Cfg.Seed+1)
 }
 
+// InitUntrained builds the vocabulary and a freshly initialized (seeded,
+// untrained) model without running Stage 2. Decoding works immediately
+// and is deterministic for a given seed — the cheap way to stand up a
+// decode-capable pipeline where output *stability* matters but trained
+// weights do not (the serving concurrency/soak tests, dry runs of the
+// serving stack, smoke tooling).
+func (p *Pipeline) InitUntrained() error {
+	p.Vocab = model.BuildVocabExtra(p.trainingSequences(), 2, p.forceCharNames(), markerTokens)
+	cfg := p.Cfg.Model
+	cfg.Vocab = p.Vocab.Size()
+	if cfg.Seed == 0 {
+		cfg.Seed = p.Cfg.Seed
+	}
+	switch p.Cfg.Arch {
+	case "", "transformer":
+		p.Model = model.NewTransformer(cfg)
+	case "gru":
+		p.Model = model.NewGRUSeq2Seq(cfg)
+	case "bert":
+		p.Model = model.NewBERTStyle(cfg, p.Cfg.MaxOutPieces)
+	default:
+		return fmt.Errorf("core: unknown architecture %q", p.Cfg.Arch)
+	}
+	return nil
+}
+
 // TrainContext runs Stage 2: builds the vocabulary, encodes the training
 // split, optionally pre-trains with a denoising objective, and fine-tunes
 // the selected architecture. When ctx is canceled or times out, the

@@ -15,7 +15,9 @@
 package faultinject
 
 import (
+	"log"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -39,7 +41,46 @@ const (
 	// TrainCancel stops training as if the context had been canceled;
 	// key = decimal epoch index.
 	TrainCancel Point = "train-cancel"
+	// ServeAdmitReject forces the serving admission gate to shed a
+	// request as if the queue were full (429); key = target name.
+	ServeAdmitReject Point = "serve-admit-reject"
+	// ServeSwapFail fails the snapshot health check during a hot reload,
+	// so the old snapshot must stay serving; key = checkpoint path.
+	ServeSwapFail Point = "serve-swap-fail"
+	// ServeHandlerPanic panics inside the generate request handler so
+	// the request-level recovery path (degraded 200, never a 500) is
+	// exercisable; key = target name.
+	ServeHandlerPanic Point = "serve-handler-panic"
 )
+
+// registry lists every compiled-in fault point. VEGA_FAULTS entries are
+// validated against it, so a typo in a point name is reported instead of
+// being armed forever without ever firing.
+var registry = map[Point]bool{
+	CheckpointCorrupt: true,
+	GeneratePanic:     true,
+	GenerateCancel:    true,
+	TrainNaN:          true,
+	TrainCancel:       true,
+	ServeAdmitReject:  true,
+	ServeSwapFail:     true,
+	ServeHandlerPanic: true,
+}
+
+// Points returns every registered fault point name, sorted — the list
+// VEGA_FAULTS specs are checked against, exported so operators and docs
+// can enumerate what is armable.
+func Points() []Point {
+	out := make([]Point, 0, len(registry))
+	for p := range registry {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Registered reports whether p names a compiled-in fault point.
+func Registered(p Point) bool { return registry[p] }
 
 var (
 	mu      sync.Mutex
@@ -49,13 +90,35 @@ var (
 )
 
 // loadEnv arms the points listed in VEGA_FAULTS. Called lazily so tests
-// that never touch the package pay nothing.
+// that never touch the package pay nothing. Unknown point names are
+// skipped and logged once (per process), never armed: a typo'd spec used
+// to sit armed forever without firing, invisible to the operator.
 func loadEnv() {
 	envOnce.Do(func() {
-		for p, spec := range parseSpecs(os.Getenv("VEGA_FAULTS")) {
+		specs, unknown := validateSpecs(parseSpecs(os.Getenv("VEGA_FAULTS")))
+		if len(unknown) > 0 {
+			log.Printf("faultinject: VEGA_FAULTS names unknown point(s) %v; known points: %v",
+				unknown, Points())
+		}
+		for p, spec := range specs {
 			armRaw(p, spec)
 		}
 	})
+}
+
+// validateSpecs splits parsed specs into the registered (armable) set and
+// the sorted list of unknown point names.
+func validateSpecs(specs map[Point]string) (valid map[Point]string, unknown []Point) {
+	valid = make(map[Point]string, len(specs))
+	for p, spec := range specs {
+		if !registry[p] {
+			unknown = append(unknown, p)
+			continue
+		}
+		valid[p] = spec
+	}
+	sort.Slice(unknown, func(i, j int) bool { return unknown[i] < unknown[j] })
+	return valid, unknown
 }
 
 // parseSpecs parses the VEGA_FAULTS syntax: "point=spec;point2=spec2".
@@ -79,11 +142,28 @@ func armRaw(p Point, spec string) {
 	armed[p] = spec
 }
 
+// warnedUnknown remembers which unknown point names have been logged, so
+// a hot loop arming a typo'd point cannot flood the log. Guarded by mu.
+var warnedUnknown map[Point]bool
+
 // Arm arms a fault point with a spec ("" or "*" matches any key).
+// Unregistered points are refused and logged once: arming a point the
+// binary does not contain can never fire and would otherwise hide the
+// mistake forever.
 func Arm(p Point, spec string) {
 	loadEnv()
 	mu.Lock()
 	defer mu.Unlock()
+	if !registry[p] {
+		if !warnedUnknown[p] {
+			if warnedUnknown == nil {
+				warnedUnknown = make(map[Point]bool)
+			}
+			warnedUnknown[p] = true
+			log.Printf("faultinject: Arm(%q): unknown point; known points: %v", p, Points())
+		}
+		return
+	}
 	armRaw(p, spec)
 }
 

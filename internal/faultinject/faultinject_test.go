@@ -66,6 +66,50 @@ func TestParseSpecs(t *testing.T) {
 	}
 }
 
+func TestValidateSpecsRejectsUnknownNames(t *testing.T) {
+	valid, unknown := validateSpecs(parseSpecs("generate-panic=*;genrate-panic=typo;serve-admit-rejct=x"))
+	if len(valid) != 1 || valid[GeneratePanic] != "*" {
+		t.Fatalf("valid = %v, want only generate-panic=*", valid)
+	}
+	if len(unknown) != 2 || unknown[0] != "genrate-panic" || unknown[1] != "serve-admit-rejct" {
+		t.Fatalf("unknown = %v, want the two typos sorted", unknown)
+	}
+}
+
+func TestArmRefusesUnknownPoint(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(Point("no-such-point"), "*")
+	if Armed(Point("no-such-point")) {
+		t.Fatal("unknown point was armed")
+	}
+	if Should(Point("no-such-point"), "key") {
+		t.Fatal("unknown point fired")
+	}
+}
+
+func TestPointsListsEveryRegisteredPoint(t *testing.T) {
+	pts := Points()
+	if len(pts) != len(registry) {
+		t.Fatalf("Points() = %d entries, registry has %d", len(pts), len(registry))
+	}
+	seen := map[Point]bool{}
+	for i, p := range pts {
+		if !registry[p] {
+			t.Errorf("Points()[%d] = %q not in registry", i, p)
+		}
+		if i > 0 && !(pts[i-1] < p) {
+			t.Errorf("Points() not sorted at %d: %q >= %q", i, pts[i-1], p)
+		}
+		seen[p] = true
+	}
+	for _, want := range []Point{ServeAdmitReject, ServeSwapFail, ServeHandlerPanic} {
+		if !seen[want] {
+			t.Errorf("serve point %q missing from Points()", want)
+		}
+	}
+}
+
 // TestConcurrentShould exercises the one-shot guarantee under the race
 // detector: many goroutines race on one armed point; exactly one wins.
 func TestConcurrentShould(t *testing.T) {

@@ -155,6 +155,10 @@ type Backend struct {
 	// Partial is set when generation stopped early (context canceled or
 	// timed out); Functions holds what completed before the stop.
 	Partial bool
+	// Truncated is set when the request's MaxFunctions cap cut the task
+	// list short — a deliberate degradation (load shedding), distinct
+	// from Partial's "stopped by cancellation".
+	Truncated bool
 }
 
 // ByModule groups the functions per module in stable order.

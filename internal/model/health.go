@@ -1,0 +1,38 @@
+package model
+
+import "fmt"
+
+// CheckDecode smoke-tests a model before it is put in a serving path: it
+// runs one bounded greedy decode from a minimal input and verifies the
+// output is well formed. A freshly loaded checkpoint whose weights are
+// corrupt in a shape-preserving way (the kind the checksum cannot catch
+// once the file parses) typically fails here — by panicking inside the
+// decoder or by emitting ids outside the vocabulary — so a snapshot swap
+// can reject it before cutover instead of serving garbage.
+//
+// vocab is the vocabulary size decoded ids must stay under; maxLen bounds
+// the decode. The call is a panic boundary: any crash inside Generate is
+// returned as an error, never propagated.
+func CheckDecode(m Seq2Seq, vocab, maxLen int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("model: health check: decode panicked: %v", r)
+		}
+	}()
+	if m == nil {
+		return fmt.Errorf("model: health check: nil model")
+	}
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	out := m.Generate([]int{CLS}, maxLen)
+	if len(out) > maxLen {
+		return fmt.Errorf("model: health check: decode emitted %d pieces, cap %d", len(out), maxLen)
+	}
+	for i, id := range out {
+		if id < 0 || id >= vocab {
+			return fmt.Errorf("model: health check: output[%d] = %d outside vocabulary [0,%d)", i, id, vocab)
+		}
+	}
+	return nil
+}

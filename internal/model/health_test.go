@@ -1,0 +1,34 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// panicSeq2Seq simulates a shape-corrupt checkpoint: Generate crashes.
+type panicSeq2Seq struct{ *Transformer }
+
+func (panicSeq2Seq) Generate([]int, int) []int { panic("corrupt weights") }
+
+// oobSeq2Seq emits ids outside the vocabulary.
+type oobSeq2Seq struct{ *Transformer }
+
+func (oobSeq2Seq) Generate([]int, int) []int { return []int{0, 999999} }
+
+func TestCheckDecode(t *testing.T) {
+	cfg := Config{Vocab: 50, Dim: 16, Heads: 2, EncLayers: 1, DecLayers: 1, FFMult: 2, MaxSeq: 32, Seed: 1}
+	m := NewTransformer(cfg)
+
+	if err := CheckDecode(m, cfg.Vocab, 8); err != nil {
+		t.Errorf("healthy model rejected: %v", err)
+	}
+	if err := CheckDecode(nil, cfg.Vocab, 8); err == nil {
+		t.Error("nil model passed")
+	}
+	if err := CheckDecode(panicSeq2Seq{m}, cfg.Vocab, 8); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("panicking decode: err=%v, want recovered panic error", err)
+	}
+	if err := CheckDecode(oobSeq2Seq{m}, cfg.Vocab, 8); err == nil || !strings.Contains(err.Error(), "outside vocabulary") {
+		t.Errorf("out-of-vocab decode: err=%v, want vocabulary error", err)
+	}
+}

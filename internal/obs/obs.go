@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Obs is an observer: a metric registry plus a span emitter, bound to
@@ -134,6 +135,39 @@ func (o *Obs) Flush() {
 		return
 	}
 	o.sink.MetricSnapshot(o.Snapshot())
+}
+
+// FlushEvery snapshots metrics to the sink every interval until the
+// returned stop function is called (idempotent). Nil-safe and disabled
+// for non-positive intervals, both returning a no-op stop. Long-running
+// processes use this so a crash loses at most one interval of metrics
+// rather than everything since startup.
+func (o *Obs) FlushEvery(interval time.Duration) (stop func()) {
+	if o == nil || interval <= 0 {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				o.Flush()
+			case <-quit:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(quit)
+			<-done
+		})
+	}
 }
 
 // Close flushes a final metric snapshot and closes the sink.

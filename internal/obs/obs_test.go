@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"math"
@@ -9,6 +10,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestConcurrentCounters hammers one counter, one gauge, and one
@@ -249,6 +251,100 @@ func TestJSONLSink(t *testing.T) {
 	if spans != 1 || metrics != 1 {
 		t.Errorf("file has %d spans, %d metrics", spans, metrics)
 	}
+}
+
+// TestJSONLSinkFlushMakesLinesDurable proves the crash-survival contract:
+// after an explicit Flush, every line written so far is readable from the
+// file even though the sink is still open (nothing stuck in the buffer).
+func TestJSONLSinkFlushMakesLinesDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.jsonl")
+	sink, err := NewJSONLSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	o := New(sink)
+	for i := 0; i < 10; i++ {
+		o.StartSpan("flush/test").End()
+	}
+	o.Flush() // metric snapshot line(s)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		lines++
+	}
+	if lines < 10 {
+		t.Errorf("only %d lines durable before Close, want >= 10", lines)
+	}
+}
+
+// TestJSONLSinkPeriodicFlush starts the background flusher and waits for
+// it to push buffered spans without any explicit Flush call.
+func TestJSONLSinkPeriodicFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.jsonl")
+	sink, err := NewJSONLSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.FlushEvery(5 * time.Millisecond)
+	sink.FlushEvery(5 * time.Millisecond) // second start is a no-op
+	o := New(sink)
+	o.StartSpan("periodic/test").End()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		raw, _ := os.ReadFile(path)
+		if len(raw) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic flusher never made the span durable")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close again is harmless for the flusher bookkeeping (file close
+	// errors are expected and ignored here).
+	sink.Close()
+}
+
+// TestObsFlushEvery snapshots metrics on a ticker until stopped.
+func TestObsFlushEvery(t *testing.T) {
+	mem := &MemSink{}
+	o := New(mem)
+	o.Counter("periodic.count").Add(3)
+	stop := o.FlushEvery(5 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if m, ok := mem.Metric("periodic.count"); ok && m.Value == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("FlushEvery never snapshotted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+
+	// Nil observer and disabled interval both return working no-ops.
+	var nilObs *Obs
+	nilObs.FlushEvery(time.Millisecond)()
+	New(nil).FlushEvery(0)()
 }
 
 // TestMultiSink fans out to every sink.

@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
+	"time"
 )
 
 // Sink receives completed spans (as they end, from any goroutine) and
@@ -75,11 +77,20 @@ func (m *MemSink) Metric(name string) (Metric, bool) {
 // JSONLSink writes one JSON object per line: spans as they end
 // ("type":"span") and one line per metric at each snapshot
 // ("type":"metric"), machine-readable by anything that reads JSON lines.
+//
+// Writes are buffered; Flush (or the periodic flusher started with
+// FlushEvery) pushes buffered lines to the OS so a long-running process
+// that crashes loses at most one flush interval of telemetry instead of
+// everything since startup. Close flushes and stops any flusher.
 type JSONLSink struct {
 	mu  sync.Mutex
 	f   *os.File
+	w   *bufio.Writer
 	enc *json.Encoder
 	err error
+
+	stopFlush chan struct{}
+	flushDone chan struct{}
 }
 
 // NewJSONLSink creates (truncating) the file at path.
@@ -88,7 +99,56 @@ func NewJSONLSink(path string) (*JSONLSink, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: jsonl sink: %w", err)
 	}
-	return &JSONLSink{f: f, enc: json.NewEncoder(f)}, nil
+	w := bufio.NewWriter(f)
+	return &JSONLSink{f: f, w: w, enc: json.NewEncoder(w)}, nil
+}
+
+// Flush writes buffered lines through to the OS. It is safe from any
+// goroutine and a no-op when nothing is buffered.
+func (j *JSONLSink) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushLocked()
+}
+
+func (j *JSONLSink) flushLocked() error {
+	if ferr := j.w.Flush(); ferr != nil && j.err == nil {
+		j.err = ferr
+	}
+	return j.err
+}
+
+// FlushEvery starts a background flusher that calls Flush every interval
+// until Close. Starting it twice is a no-op; a non-positive interval
+// disables it. Long-running processes (vega-serve) use this so telemetry
+// survives a crash between snapshots.
+func (j *JSONLSink) FlushEvery(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	j.mu.Lock()
+	if j.stopFlush != nil {
+		j.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	j.stopFlush, j.flushDone = stop, done
+	j.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				j.Flush()
+			case <-stop:
+				return
+			}
+		}
+	}()
 }
 
 // jsonlSpan flattens SpanData for the file format: duration in seconds,
@@ -141,10 +201,20 @@ func (j *JSONLSink) MetricSnapshot(ms []Metric) {
 	}
 }
 
-// Close closes the file, returning the first write error if any.
+// Close stops the periodic flusher (if any), flushes buffered lines, and
+// closes the file, returning the first write error if any.
 func (j *JSONLSink) Close() error {
 	j.mu.Lock()
+	stop, done := j.stopFlush, j.flushDone
+	j.stopFlush, j.flushDone = nil, nil
+	j.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.flushLocked()
 	cerr := j.f.Close()
 	if j.err != nil {
 		return j.err

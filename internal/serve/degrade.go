@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"fmt"
+
+	"vega/internal/core"
+)
+
+// DegradePolicy is the graceful-degradation ladder applied between
+// admission and execution. Rather than a binary serve-or-shed, moderate
+// pressure cheapens requests in two rungs, each marked explicitly in the
+// response so a degraded 200 is never mistaken for a full-fidelity one:
+//
+//  1. pressure >= GreedyAt:   beam search downgrades to greedy decoding.
+//  2. pressure >= TruncateAt: whole-backend requests are truncated to
+//     TruncateFunctions functions.
+//
+// Pressure is Scheduler.Pressure(): (waiting+running)/(queue+workers).
+type DegradePolicy struct {
+	// GreedyAt is the pressure at which beam→greedy kicks in (0 disables
+	// the rung; 1 effectively never fires).
+	GreedyAt float64
+	// TruncateAt is the pressure at which MaxFunctions truncation kicks
+	// in (0 disables the rung).
+	TruncateAt float64
+	// TruncateFunctions is the per-request function cap applied at the
+	// TruncateAt rung (ignored when the request already asks for fewer).
+	TruncateFunctions int
+}
+
+// DefaultDegradePolicy mirrors the queue-sizing rationale in DESIGN.md:
+// start cheapening at half load, start truncating at three quarters.
+func DefaultDegradePolicy() DegradePolicy {
+	return DegradePolicy{GreedyAt: 0.5, TruncateAt: 0.75, TruncateFunctions: 16}
+}
+
+// Apply folds the ladder into a request's GenOptions at the given
+// pressure, returning the adjusted options and the human-readable reasons
+// for each rung that fired (empty = full fidelity).
+func (d DegradePolicy) Apply(opt core.GenOptions, beamWidth int, pressure float64) (core.GenOptions, []string) {
+	var reasons []string
+	if d.GreedyAt > 0 && pressure >= d.GreedyAt && beamWidth > 1 && !opt.Greedy {
+		opt.Greedy = true
+		reasons = append(reasons,
+			fmt.Sprintf("beam(%d)->greedy: pressure %.2f >= %.2f", beamWidth, pressure, d.GreedyAt))
+	}
+	if d.TruncateAt > 0 && pressure >= d.TruncateAt && d.TruncateFunctions > 0 {
+		if opt.MaxFunctions == 0 || opt.MaxFunctions > d.TruncateFunctions {
+			opt.MaxFunctions = d.TruncateFunctions
+			reasons = append(reasons,
+				fmt.Sprintf("maxFunctions=%d: pressure %.2f >= %.2f", d.TruncateFunctions, pressure, d.TruncateAt))
+		}
+	}
+	return opt, reasons
+}

@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"vega/internal/core"
+	"vega/internal/corpus"
+	"vega/internal/faultinject"
+	"vega/internal/generate"
+	"vega/internal/obs"
+)
+
+// GenerateRequest is the POST /v1/generate body. Scope narrows from whole
+// backend (neither Module nor Function set) to one module to one
+// function; the narrower the request, the cheaper it is to admit.
+type GenerateRequest struct {
+	// Target names the target whose .td description files (rendered into
+	// the service's source tree) generation reads.
+	Target string `json:"target"`
+	// Module restricts generation to one module (SEL, REG, OPT, SCH,
+	// EMI, ASS, DIS). Optional.
+	Module string `json:"module,omitempty"`
+	// Function restricts generation to one interface function. Optional.
+	Function string `json:"function,omitempty"`
+	// MaxFunctions caps how many functions are generated (0 =
+	// unlimited); the response is marked truncated when the cap cuts the
+	// list. The degrade ladder may lower this further under pressure.
+	MaxFunctions int `json:"max_functions,omitempty"`
+	// DeadlineMS overrides the server's default per-request deadline,
+	// clamped to the configured maximum.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+// StatementJSON is one generated statement with its confidence scores.
+type StatementJSON struct {
+	Row     int     `json:"row"`
+	Text    string  `json:"text"`
+	Absent  bool    `json:"absent,omitempty"`
+	Score   float64 `json:"score"`
+	Formula float64 `json:"formula"`
+}
+
+// FunctionJSON is one generated function with per-statement confidences.
+type FunctionJSON struct {
+	Name       string          `json:"name"`
+	Module     string          `json:"module"`
+	Confidence float64         `json:"confidence"`
+	Failed     bool            `json:"failed,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Statements []StatementJSON `json:"statements"`
+}
+
+// GenerateResponse is the POST /v1/generate 200 body. Degraded is set
+// whenever the response is anything less than full fidelity — a degrade
+// rung fired, the task list was truncated, a function was salvaged from a
+// panic, or the request-level panic boundary triggered — with the
+// machine-readable reasons alongside.
+type GenerateResponse struct {
+	Target         string             `json:"target"`
+	Snapshot       string             `json:"snapshot"`
+	Degraded       bool               `json:"degraded"`
+	DegradeReasons []string           `json:"degrade_reasons,omitempty"`
+	Partial        bool               `json:"partial,omitempty"`
+	Truncated      bool               `json:"truncated,omitempty"`
+	Recovered      int                `json:"recovered,omitempty"`
+	Functions      []FunctionJSON     `json:"functions"`
+	Seconds        map[string]float64 `json:"seconds,omitempty"`
+}
+
+// errorJSON is every non-200 body.
+type errorJSON struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after_s,omitempty"`
+	Partial    int    `json:"partial_functions,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string, retryAfter int) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeJSON(w, code, errorJSON{Error: msg, RetryAfter: retryAfter})
+}
+
+// genResult is the state the admitted job writes and the handler reads
+// strictly after the done-channel close (or not at all on a deadline).
+type genResult struct {
+	backend  *generate.Backend
+	snapshot string
+	panicked bool
+	panicMsg string
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only", 0)
+		return
+	}
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server draining", 0)
+		return
+	}
+	s.m.requests.Inc()
+	start := time.Now()
+
+	var req GenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+	if corpus.FindTarget(req.Target) == nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown target %q", req.Target), 0)
+		return
+	}
+	opt := core.GenOptions{MaxFunctions: req.MaxFunctions}
+	if req.Module != "" {
+		if !moduleListed(moduleNames(), req.Module) {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown module %q", req.Module), 0)
+			return
+		}
+		opt.Modules = []string{req.Module}
+	}
+	if req.Function != "" {
+		if s.holder.Current().Pipeline.GroupByName(req.Function) == nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown function %q", req.Function), 0)
+			return
+		}
+		opt.Functions = []string{req.Function}
+	}
+
+	// Deadline: request override clamped to the configured max, default
+	// otherwise. The context reaches GenerateBackendOptions, so a
+	// mid-generation expiry salvages finished functions and returns.
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	ctx, span := obs.Start(obs.With(ctx, s.cfg.Obs), "serve/generate",
+		obs.String("target", req.Target))
+	defer span.End()
+
+	// Admission. The fault point forces the shed path so 429 handling is
+	// testable without actually filling the queue.
+	if faultinject.Should(faultinject.ServeAdmitReject, req.Target) {
+		s.writeError(w, http.StatusTooManyRequests, "admission rejected (faultinject)", s.sched.RetryAfter())
+		return
+	}
+
+	// Degrade ladder, applied at admission pressure.
+	pressure := s.sched.Pressure()
+	beamWidth := s.holder.Current().Pipeline.Cfg.BeamWidth
+	opt, reasons := s.cfg.Policy.Apply(opt, beamWidth, pressure)
+
+	res := &genResult{}
+	ran, err := s.sched.Do(ctx, func(jctx context.Context) {
+		// Request-level panic boundary: anything that escapes the
+		// per-function isolation inside GenerateBackendOptions (or the
+		// armed serve-handler-panic fault) becomes a degraded 200, never
+		// a 500 — the handler stays on the {200, 429, 504} contract.
+		defer func() {
+			if rec := recover(); rec != nil {
+				res.panicked = true
+				res.panicMsg = fmt.Sprint(rec)
+				s.m.handlerPanics.Inc()
+			}
+		}()
+		if faultinject.Should(faultinject.ServeHandlerPanic, req.Target) {
+			panic("faultinject serve-handler-panic for " + req.Target)
+		}
+		snap, release := s.holder.Acquire()
+		defer release()
+		res.snapshot = snap.ID
+		res.backend = snap.Pipeline.GenerateBackendOptions(jctx, req.Target, opt)
+	})
+
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.writeError(w, http.StatusTooManyRequests, "queue full", s.sched.RetryAfter())
+		return
+	case errors.Is(err, ErrStopped):
+		s.writeError(w, http.StatusServiceUnavailable, "server draining", 0)
+		return
+	case err != nil:
+		// Deadline or client cancellation won the wait; the job either
+		// never ran or is finishing detached — res must not be read.
+		s.m.deadlineHits.Inc()
+		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded", 0)
+		return
+	}
+	_ = ran
+
+	if res.panicked {
+		resp := &GenerateResponse{
+			Target:         req.Target,
+			Snapshot:       res.snapshot,
+			Degraded:       true,
+			DegradeReasons: append(reasons, "handler panic recovered: "+res.panicMsg),
+			Functions:      []FunctionJSON{},
+		}
+		s.finishGenerate(w, resp, start)
+		return
+	}
+	if ctx.Err() != nil {
+		// The job completed its salvage (Partial backend) but the
+		// request's deadline has passed: the contract says 504.
+		s.m.deadlineHits.Inc()
+		n := 0
+		if res.backend != nil {
+			n = len(res.backend.Functions)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGatewayTimeout)
+		json.NewEncoder(w).Encode(errorJSON{Error: "deadline exceeded", Partial: n})
+		return
+	}
+
+	resp := backendResponse(req.Target, res.backend, res.snapshot, reasons)
+	s.finishGenerate(w, resp, start)
+}
+
+// finishGenerate stamps headers/metrics shared by every 200 path.
+func (s *Server) finishGenerate(w http.ResponseWriter, resp *GenerateResponse, start time.Time) {
+	if resp.Degraded {
+		s.m.degraded.Inc()
+		w.Header().Set("X-Vega-Degraded", "true")
+	}
+	s.m.requestSeconds.Observe(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// backendResponse converts a generated backend into the wire form.
+func backendResponse(target string, b *generate.Backend, snapID string, reasons []string) *GenerateResponse {
+	resp := &GenerateResponse{
+		Target:         target,
+		Snapshot:       snapID,
+		DegradeReasons: reasons,
+		Functions:      []FunctionJSON{},
+	}
+	if b == nil {
+		resp.Degraded = true
+		resp.DegradeReasons = append(resp.DegradeReasons, "no backend produced")
+		return resp
+	}
+	resp.Partial = b.Partial
+	resp.Truncated = b.Truncated
+	resp.Recovered = b.Recovered
+	resp.Seconds = b.Seconds
+	for _, f := range b.Functions {
+		fj := FunctionJSON{
+			Name:       f.Name,
+			Module:     f.Module,
+			Confidence: f.Confidence(),
+			Failed:     f.Failed(),
+			Error:      f.Err,
+			Statements: make([]StatementJSON, 0, len(f.Statements)),
+		}
+		for _, st := range f.Statements {
+			fj.Statements = append(fj.Statements, StatementJSON{
+				Row: st.Row, Text: st.Text, Absent: st.Absent,
+				Score: st.Score, Formula: st.Formula,
+			})
+		}
+		resp.Functions = append(resp.Functions, fj)
+	}
+	if b.Truncated {
+		resp.DegradeReasons = append(resp.DegradeReasons, "function list truncated by maxFunctions")
+	}
+	if b.Recovered > 0 {
+		resp.DegradeReasons = append(resp.DegradeReasons,
+			fmt.Sprintf("%d function(s) recovered from panics at confidence 0", b.Recovered))
+	}
+	resp.Degraded = len(resp.DegradeReasons) > 0
+	return resp
+}
+
+// ReloadRequest is the POST /admin/reload body.
+type ReloadRequest struct {
+	// Checkpoint is the path of the checkpoint to load into the
+	// candidate snapshot.
+	Checkpoint string `json:"checkpoint"`
+}
+
+// ReloadResponse reports the cutover.
+type ReloadResponse struct {
+	Swapped  bool   `json:"swapped"`
+	Snapshot string `json:"snapshot,omitempty"`
+	Previous string `json:"previous,omitempty"`
+	Drained  bool   `json:"drained"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only", 0)
+		return
+	}
+	if s.cfg.Loader == nil {
+		s.writeError(w, http.StatusNotImplemented, "no snapshot loader configured", 0)
+		return
+	}
+	var req ReloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ReloadTimeout)
+	defer cancel()
+	ctx, span := obs.Start(obs.With(ctx, s.cfg.Obs), "serve/reload",
+		obs.String("checkpoint", req.Checkpoint))
+	defer span.End()
+
+	fail := func(err error) {
+		s.m.swapFailures.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, ReloadResponse{
+			Swapped: false,
+			Error:   err.Error(),
+		})
+	}
+
+	if faultinject.Should(faultinject.ServeSwapFail, req.Checkpoint) {
+		fail(errors.New("faultinject serve-swap-fail: candidate rejected, old snapshot retained"))
+		return
+	}
+	p, err := s.cfg.Loader(ctx, req.Checkpoint)
+	if err != nil {
+		fail(fmt.Errorf("load candidate: %w", err))
+		return
+	}
+	cand := NewSnapshot(s.holder.NextID("reload"), req.Checkpoint, p)
+	old, drained, err := s.swapIn(ctx, cand)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, ReloadResponse{Swapped: false, Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		Swapped:  true,
+		Snapshot: cand.ID,
+		Previous: old.ID,
+		Drained:  drained,
+	})
+}
+
+// healthzJSON is the GET /healthz body.
+type healthzJSON struct {
+	Status     string  `json:"status"`
+	Snapshot   string  `json:"snapshot"`
+	Source     string  `json:"source"`
+	UptimeS    float64 `json:"uptime_s"`
+	Pressure   float64 `json:"pressure"`
+	RetryAfter int     `json:"retry_after_s"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.holder.Current()
+	body := healthzJSON{
+		Status:     "ok",
+		Snapshot:   snap.ID,
+		Source:     snap.Source,
+		UptimeS:    s.uptime().Seconds(),
+		Pressure:   s.sched.Pressure(),
+		RetryAfter: s.sched.RetryAfter(),
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		body.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// targetsJSON is the GET /v1/targets body: the request vocabulary.
+type targetsJSON struct {
+	Targets   []targetJSON `json:"targets"`
+	Modules   []string     `json:"modules"`
+	Functions []string     `json:"functions"`
+}
+
+type targetJSON struct {
+	Name string `json:"name"`
+	Eval bool   `json:"eval"`
+}
+
+func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
+	snap := s.holder.Current()
+	out := targetsJSON{Modules: moduleNames()}
+	for _, t := range corpus.Targets() {
+		out.Targets = append(out.Targets, targetJSON{Name: t.Name, Eval: t.Eval})
+	}
+	for _, g := range snap.Pipeline.Groups {
+		out.Functions = append(out.Functions, g.Func.Name)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// moduleNames lists the corpus modules as strings.
+func moduleNames() []string {
+	out := make([]string, len(corpus.Modules))
+	for i, m := range corpus.Modules {
+		out[i] = string(m)
+	}
+	return out
+}
+
+// moduleListed reports membership (the filter is never empty here).
+func moduleListed(list []string, m string) bool {
+	for _, x := range list {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vega/internal/obs"
+)
+
+// Scheduler errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrQueueFull is returned when the admission queue is at its hard
+	// cap; the caller sheds the request with 429 + Retry-After.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrStopped is returned after Stop; the caller sheds with 503.
+	ErrStopped = errors.New("serve: scheduler stopped")
+)
+
+// job is one admitted unit of work waiting for a worker.
+type job struct {
+	ctx      context.Context
+	fn       func(context.Context)
+	enqueued time.Time
+	done     chan struct{}
+	ran      bool // written by the worker before close(done)
+}
+
+// schedMetrics caches the scheduler's instruments (nil and inert without
+// an observer, like every obs consumer in the pipeline).
+type schedMetrics struct {
+	admitted      *obs.Counter   // serve.admitted: requests accepted into the queue
+	rejected      *obs.Counter   // serve.rejected: requests shed at admission (queue full)
+	deadlineDrops *obs.Counter   // serve.deadline_drops: admitted jobs whose deadline expired while queued
+	queueDepth    *obs.Gauge     // serve.queue_depth: waiting + running
+	inflight      *obs.Gauge     // serve.inflight: running
+	queueWait     *obs.Histogram // serve.queue_wait_seconds: admission → worker pickup
+	jobSeconds    *obs.Histogram // serve.job_seconds: worker execution time
+}
+
+func newSchedMetrics(o *obs.Obs) schedMetrics {
+	return schedMetrics{
+		admitted:      o.Counter("serve.admitted"),
+		rejected:      o.Counter("serve.rejected"),
+		deadlineDrops: o.Counter("serve.deadline_drops"),
+		queueDepth:    o.Gauge("serve.queue_depth"),
+		inflight:      o.Gauge("serve.inflight"),
+		queueWait:     o.Histogram("serve.queue_wait_seconds"),
+		jobSeconds:    o.Histogram("serve.job_seconds"),
+	}
+}
+
+// Scheduler is the bounded admission queue plus fixed worker pool every
+// generate request flows through. Admission is non-blocking: when the
+// queue is at its hard cap the request is rejected immediately
+// (ErrQueueFull) rather than queued unboundedly — the service degrades to
+// fast 429s under overload instead of collapsing into timeout soup.
+type Scheduler struct {
+	queue    chan *job
+	workers  int
+	queueCap int
+
+	mu      sync.RWMutex // guards stopped vs. queue close
+	stopped bool
+	wg      sync.WaitGroup
+
+	waiting  atomic.Int64
+	inflight atomic.Int64
+
+	// avgJobBits holds a float64 EWMA of job durations (seconds) for the
+	// Retry-After estimate; updated by workers, read at rejection time.
+	avgJobBits atomic.Uint64
+
+	m schedMetrics
+}
+
+// NewScheduler starts workers goroutines over a queue of capacity
+// queueCap (minimums of 1 apply to both).
+func NewScheduler(workers, queueCap int, o *obs.Obs) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	s := &Scheduler{
+		queue:    make(chan *job, queueCap),
+		workers:  workers,
+		queueCap: queueCap,
+		m:        newSchedMetrics(o),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.waiting.Add(-1)
+		s.m.queueWait.Observe(time.Since(j.enqueued).Seconds())
+		if j.ctx.Err() != nil {
+			// The deadline expired while the job sat in the queue: skip
+			// the work entirely, the handler already answered 504.
+			s.m.deadlineDrops.Inc()
+			s.updateDepth()
+			close(j.done)
+			continue
+		}
+		s.inflight.Add(1)
+		s.updateDepth()
+		start := time.Now()
+		j.fn(j.ctx)
+		sec := time.Since(start).Seconds()
+		s.inflight.Add(-1)
+		s.updateDepth()
+		s.m.jobSeconds.Observe(sec)
+		s.recordJobSeconds(sec)
+		j.ran = true
+		close(j.done)
+	}
+}
+
+func (s *Scheduler) updateDepth() {
+	s.m.queueDepth.Set(float64(s.waiting.Load() + s.inflight.Load()))
+	s.m.inflight.Set(float64(s.inflight.Load()))
+}
+
+// recordJobSeconds folds one job duration into the EWMA (α = 0.2) used by
+// RetryAfter. A CAS loop keeps it lock-free against concurrent workers.
+func (s *Scheduler) recordJobSeconds(sec float64) {
+	for {
+		oldBits := s.avgJobBits.Load()
+		oldAvg := math.Float64frombits(oldBits)
+		newAvg := sec
+		if oldAvg > 0 {
+			newAvg = 0.8*oldAvg + 0.2*sec
+		}
+		if s.avgJobBits.CompareAndSwap(oldBits, math.Float64bits(newAvg)) {
+			return
+		}
+	}
+}
+
+// Pressure reports the load fraction the degrade ladder keys off:
+// (waiting + running) / (queue capacity + workers), clamped to [0, 1].
+func (s *Scheduler) Pressure() float64 {
+	p := float64(s.waiting.Load()+s.inflight.Load()) / float64(s.queueCap+s.workers)
+	return math.Min(math.Max(p, 0), 1)
+}
+
+// RetryAfter estimates, in whole seconds (>= 1), how long a shed client
+// should wait before retrying: the current backlog divided across the
+// worker pool at the observed average job duration.
+func (s *Scheduler) RetryAfter() int {
+	avg := math.Float64frombits(s.avgJobBits.Load())
+	if avg <= 0 {
+		return 1
+	}
+	backlog := float64(s.waiting.Load()+s.inflight.Load()) + 1
+	sec := int(math.Ceil(backlog * avg / float64(s.workers)))
+	if sec < 1 {
+		return 1
+	}
+	return sec
+}
+
+// Do admits fn and blocks until it finishes or ctx is done. It returns:
+//
+//   - ran=true, err=nil — fn ran to completion; its results are safe to
+//     read (the done channel close orders the worker's writes).
+//   - ErrQueueFull / ErrStopped — fn was never admitted.
+//   - ctx.Err() — the deadline/cancellation won the wait. fn either never
+//     runs (workers skip dead jobs) or is still running detached; the
+//     caller must NOT touch fn's result state in that case.
+func (s *Scheduler) Do(ctx context.Context, fn func(context.Context)) (ran bool, err error) {
+	j := &job{ctx: ctx, fn: fn, enqueued: time.Now(), done: make(chan struct{})}
+
+	s.mu.RLock()
+	if s.stopped {
+		s.mu.RUnlock()
+		return false, ErrStopped
+	}
+	select {
+	case s.queue <- j:
+		s.waiting.Add(1)
+		s.mu.RUnlock()
+		s.m.admitted.Inc()
+		s.updateDepth()
+	default:
+		s.mu.RUnlock()
+		s.m.rejected.Inc()
+		return false, ErrQueueFull
+	}
+
+	select {
+	case <-j.done:
+		return j.ran, nil
+	case <-ctx.Done():
+		return false, ctx.Err()
+	}
+}
+
+// Stop closes admission and waits for queued and running jobs to finish —
+// the graceful-shutdown drain. Safe to call more than once.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.stopped = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vega/internal/core"
+	"vega/internal/faultinject"
+)
+
+// soakResult is one request's observed outcome.
+type soakResult struct {
+	status   int
+	elapsed  time.Duration
+	degraded bool
+	resp     GenerateResponse
+	body     []byte
+}
+
+// TestServeSoak is the PR's acceptance scenario: concurrent generate
+// requests driven through a queue cap of 2 with one worker, a hot
+// snapshot swap fired while traffic is in flight, and an armed
+// serve-handler-panic fault. The contract under all of that:
+//
+//   - every request ends in exactly one of {200, 200-degraded, 429, 504};
+//   - no request hangs past its deadline;
+//   - the swap never 500s (or drops) an in-flight request;
+//   - responses for identical inputs are byte-identical before and after
+//     the swap (the reload rebuilds the same seed).
+func TestServeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	faultinject.Reset()
+	defer faultinject.Reset()
+
+	const reqDeadline = 20 * time.Second
+
+	srv := New(Config{
+		Workers:         1,
+		QueueCap:        2,
+		DefaultDeadline: reqDeadline,
+		MaxDeadline:     time.Minute,
+		DrainTimeout:    30 * time.Second,
+		Policy:          DefaultDegradePolicy(),
+		HealthTarget:    "RISCV",
+		Loader: func(ctx context.Context, checkpoint string) (*core.Pipeline, error) {
+			// The reload rebuilds the boot snapshot's seed, so outputs
+			// must be byte-identical across the cutover.
+			return freshPipeline(t, 1), nil
+		},
+	}, NewSnapshot("boot-1", "test", testPipeline(t, 1)))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.sched.Stop()
+
+	do := func(req GenerateRequest) soakResult {
+		start := time.Now()
+		resp, body := postJSON(t, ts.URL+"/v1/generate", req)
+		r := soakResult{
+			status:   resp.StatusCode,
+			elapsed:  time.Since(start),
+			degraded: resp.Header.Get("X-Vega-Degraded") == "true",
+			body:     body,
+		}
+		if r.status == http.StatusOK {
+			if err := json.Unmarshal(body, &r.resp); err != nil {
+				t.Errorf("unparseable 200 body: %v (%s)", err, body)
+			}
+		}
+		return r
+	}
+
+	// Phase 0: an uncontended baseline — the pre-swap reference bytes.
+	baseline := do(GenerateRequest{Target: "RISCV", Function: "getRelocType"})
+	if baseline.status != http.StatusOK || baseline.resp.Degraded {
+		t.Fatalf("baseline request: %d degraded=%v (%s)", baseline.status, baseline.resp.Degraded, baseline.body)
+	}
+	if baseline.resp.Snapshot != "boot-1" {
+		t.Fatalf("baseline served from %q, want boot-1", baseline.resp.Snapshot)
+	}
+
+	// The panic fault is keyed to the ARM target so it hits exactly the
+	// one ARM request and never the byte-identity probes.
+	faultinject.Arm(faultinject.ServeHandlerPanic, "ARM")
+
+	// Phase 1: a long module-scoped request occupies the single worker...
+	var slow, armed soakResult
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		slow = do(GenerateRequest{Target: "RISCV", Module: "EMI", DeadlineMS: 30000})
+	}()
+	waitFor(t, func() bool { return srv.sched.inflight.Load() >= 1 })
+
+	// ...the ARM request takes a queue slot (guaranteed admitted, so the
+	// armed panic deterministically fires in its job)...
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		armed = do(GenerateRequest{Target: "ARM", Function: "getRelocType"})
+	}()
+	waitFor(t, func() bool { return srv.sched.waiting.Load() >= 1 })
+
+	// ...and a burst of 5 more races a hot reload through the remaining
+	// capacity (1 queue slot), so most are shed with 429.
+	results := make([]soakResult, 5)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = do(GenerateRequest{Target: "RISCV", Function: "getRelocType"})
+		}(i)
+	}
+
+	var reload ReloadResponse
+	reloadResp, reloadBody := postJSON(t, ts.URL+"/admin/reload", ReloadRequest{Checkpoint: "soak"})
+	if err := json.Unmarshal(reloadBody, &reload); err != nil {
+		t.Fatalf("reload body: %v (%s)", err, reloadBody)
+	}
+	wg.Wait()
+
+	// The swap must succeed and must not have 500'd (or dropped) the
+	// in-flight slow request, which keeps serving from its pinned snapshot.
+	if reloadResp.StatusCode != http.StatusOK || !reload.Swapped {
+		t.Fatalf("mid-run reload failed: %d %s", reloadResp.StatusCode, reloadBody)
+	}
+	if slow.status != http.StatusOK {
+		t.Fatalf("in-flight request during swap got %d (%s), want 200", slow.status, slow.body)
+	}
+	if slow.resp.Snapshot != "boot-1" {
+		t.Errorf("in-flight request served from %q, want the pinned boot-1", slow.resp.Snapshot)
+	}
+	if armed.status != http.StatusOK || !containsPanicReason(armed.resp.DegradeReasons) {
+		t.Errorf("panicked request: %d %s, want a degraded 200 with a panic reason", armed.status, armed.body)
+	}
+
+	// Phase 2: post-swap probes for the same input as the baseline.
+	post := make([]soakResult, 2)
+	for i := range post {
+		post[i] = do(GenerateRequest{Target: "RISCV", Function: "getRelocType"})
+		if post[i].status != http.StatusOK {
+			t.Fatalf("post-swap probe got %d (%s)", post[i].status, post[i].body)
+		}
+		if post[i].resp.Snapshot != reload.Snapshot {
+			t.Errorf("post-swap probe served from %q, want %q", post[i].resp.Snapshot, reload.Snapshot)
+		}
+	}
+
+	all := append([]soakResult{baseline, slow, armed}, append(results, post...)...)
+	allowed := map[int]bool{
+		http.StatusOK:              true,
+		http.StatusTooManyRequests: true,
+		http.StatusGatewayTimeout:  true,
+	}
+	var ok200, panicked int
+	var funcBodies [][]byte
+	for i, r := range all {
+		if !allowed[r.status] {
+			t.Errorf("request %d: status %d outside {200, 429, 504} (%s)", i, r.status, r.body)
+		}
+		if r.elapsed > reqDeadline+15*time.Second {
+			t.Errorf("request %d hung %s past its deadline", i, r.elapsed-reqDeadline)
+		}
+		if r.status != http.StatusOK {
+			continue
+		}
+		ok200++
+		if r.degraded != r.resp.Degraded {
+			t.Errorf("request %d: X-Vega-Degraded header %v disagrees with body %v", i, r.degraded, r.resp.Degraded)
+		}
+		if containsPanicReason(r.resp.DegradeReasons) {
+			panicked++
+			continue // panic responses carry no functions
+		}
+		// Byte-identity across the swap: every full 200 for getRelocType
+		// must serialize identically, whichever snapshot served it. (A
+		// degrade rung may have fired under pressure — truncation cannot
+		// change a single-function result.)
+		if len(r.resp.Functions) == 1 && r.resp.Functions[0].Name == "getRelocType" {
+			b, err := json.Marshal(r.resp.Functions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			funcBodies = append(funcBodies, b)
+		}
+	}
+	if ok200 == 0 {
+		t.Fatal("no request succeeded; the soak asserted nothing")
+	}
+	if panicked != 1 {
+		t.Errorf("%d panic-degraded responses, want exactly 1 (one-shot fault)", panicked)
+	}
+	if len(funcBodies) < 3 { // baseline + 2 post-swap probes at minimum
+		t.Fatalf("only %d full getRelocType responses; need the baseline and both post-swap probes", len(funcBodies))
+	}
+	for i := 1; i < len(funcBodies); i++ {
+		if string(funcBodies[i]) != string(funcBodies[0]) {
+			t.Errorf("response %d differs byte-for-byte from the pre-swap baseline:\n%s\nvs\n%s",
+				i, funcBodies[i], funcBodies[0])
+		}
+	}
+}
+
+func containsPanicReason(reasons []string) bool {
+	for _, r := range reasons {
+		if strings.Contains(r, "panic recovered") {
+			return true
+		}
+	}
+	return false
+}
