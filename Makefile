@@ -6,9 +6,10 @@
 GO ?= go
 
 .PHONY: check lint vet fmt-check test test-race obs-race kernels-race \
-	stage1-race serve-race build bench bench-stage1 bench-stage2 bench-stage3
+	stage1-race serve-race repair-race build bench bench-stage1 \
+	bench-stage2 bench-stage3 bench-repair
 
-check: lint obs-race kernels-race stage1-race serve-race test-race
+check: lint obs-race kernels-race stage1-race serve-race repair-race test-race
 
 build:
 	$(GO) build ./...
@@ -58,9 +59,17 @@ stage1-race:
 serve-race:
 	$(GO) test -race ./internal/serve
 
+# Verify-and-repair race suite: the CEGAR engine and oracle (shared by
+# every generation worker) plus the interp↔sim differential fuzz, whose
+# seeds run across goroutines precisely so the race detector watches the
+# compiler tables and both executors being shared.
+repair-race:
+	$(GO) test -race ./internal/repair
+	$(GO) test -race -run 'DifferentialInterpVsSim' ./internal/sim
+
 # Stage-timing benchmarks, each teed through cmd/benchjson so the run
 # leaves a machine-readable artifact beside the log.
-bench: bench-stage1 bench-stage2 bench-stage3
+bench: bench-stage1 bench-stage2 bench-stage3 bench-repair
 
 # One invocation covers both Stage 1 variants: cold (full templatization
 # + feature mining) and warm (content-addressed cache hit).
@@ -75,3 +84,9 @@ bench-stage2:
 bench-stage3:
 	$(GO) test -run '^$$' -bench 'Fig7InferenceTime' -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_stage3.json
+
+# Verify-and-repair loop: plain vs verified pass@1 and the repair rate,
+# recorded as BENCH_repair.json (the correctness-loop delta artifact).
+bench-repair:
+	$(GO) test -run '^$$' -bench 'RepairLoop' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_repair.json

@@ -8,12 +8,14 @@ package vega
 // which these benchmarks mirror code-path for code-path.
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
 
 	"vega/internal/bench"
 	"vega/internal/compiler"
+	"vega/internal/core"
 	"vega/internal/corpus"
 	"vega/internal/cpp"
 	"vega/internal/eval"
@@ -252,6 +254,28 @@ func BenchmarkFig10VegaBackend(b *testing.B) {
 				b.Fatalf("%s: corrected VEGA backend diverges from base", w.Name)
 			}
 		}
+	}
+}
+
+// BenchmarkRepairLoop measures Stage 3 generation with the verify-and-
+// repair loop on (the tentpole of the correctness-loop work), reporting
+// the plain vs verified pass@1 the loop buys and the share of initially
+// diverging functions it recovers. Repair reverts failed attempts, so
+// %verified-pass1 >= %plain-pass1 holds by construction; the benchmark
+// artifact (BENCH_repair.json) records the measured delta.
+func BenchmarkRepairLoop(b *testing.B) {
+	f := sharedFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen := f.p.GenerateBackendOptions(context.Background(), "RISCV",
+			core.GenOptions{Verify: true})
+		b.StopTimer()
+		rs := Evaluate(f.p, gen).Repair()
+		b.ReportMetric(100*rs.PlainPass1(), "%plain-pass1")
+		b.ReportMetric(100*rs.VerifiedPass1(), "%verified-pass1")
+		b.ReportMetric(100*rs.RepairRate(), "%repair-rate")
+		b.ReportMetric(float64(gen.Repaired), "repaired")
+		b.StartTimer()
 	}
 }
 

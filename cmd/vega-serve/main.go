@@ -15,10 +15,19 @@
 // Endpoints:
 //
 //	POST /v1/generate   {"target":"RISCV","module":"EMI","function":"getRelocType",
-//	                     "max_functions":0,"deadline_ms":0}
+//	                     "max_functions":0,"deadline_ms":0,"verify":false}
 //	POST /admin/reload  {"checkpoint":"path/to/new.vega"}   (health-checked cutover)
 //	GET  /healthz       status, active snapshot, pressure
 //	GET  /v1/targets    request vocabulary (targets, modules, functions)
+//
+// "verify":true additionally executes each generated function against
+// the reference backend and runs counterexample-guided repair on
+// divergences; every function in the response then carries "verify"
+// ("passed", "repaired", "failed", or "no-oracle"), plus repair rounds
+// and the final counterexample when it still fails, and the response
+// totals verified/repaired/repair_failed. Under pressure >= 0.75 the
+// degrade ladder keeps verification but skips repair rounds (the
+// response is marked degraded with the rung's reason).
 //
 // Responses are 200 (optionally marked degraded), 429 + Retry-After when
 // the admission queue is at its hard cap, or 504 when the per-request

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	vega -target RISCV [-epochs 14] [-samples 2600] [-arch transformer]
-//	     [-out generated/] [-seed 1] [-quiet] [-timeout 10m]
+//	     [-out generated/] [-seed 1] [-quiet] [-timeout 10m] [-verify]
 //	     [-metrics out.jsonl] [-pprof localhost:6060]
 //
 // The run honors a deadline (-timeout) and Ctrl-C: a canceled training
@@ -15,6 +15,13 @@
 // writes the functions generated so far, marked partial. Fault-injection
 // points for exercising these paths are armed via VEGA_FAULTS (see
 // README.md).
+//
+// -verify closes the correctness loop: every generated function is
+// executed against the held-out reference through the regression
+// harness, and diverging functions get up to -repair-rounds rounds of
+// counterexample-guided re-decoding (see DESIGN.md "Verified generation
+// & repair"). The run then reports verified pass@1 beside the plain
+// textual pass@1.
 //
 // Observability: -metrics streams every stage span and a final metric
 // snapshot to a JSON-lines file (see DESIGN.md "Observability");
@@ -60,6 +67,8 @@ func main() {
 		s1cache   = flag.String("stage1-cache", "", "directory for the content-addressed Stage 1 artifact cache (empty = disabled)")
 		metrics   = flag.String("metrics", "", "write stage spans and a metric snapshot to this JSON-lines file")
 		pprofAt   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		verify    = flag.Bool("verify", false, "execute generated functions against the reference and repair divergences (CEGAR)")
+		repRounds = flag.Int("repair-rounds", 0, "max counterexample-guided repair rounds per function (0 = default 3; needs -verify)")
 	)
 	flag.Parse()
 
@@ -122,6 +131,8 @@ func main() {
 	cfg.KernelWorkers = *kworkers
 	cfg.Stage1Workers = *s1workers
 	cfg.Stage1Cache = *s1cache
+	cfg.Verify = *verify
+	cfg.RepairRounds = *repRounds
 	cfg.Obs = o
 	if !*quiet {
 		cfg.Train.Verbose = func(e int, l float64) {
@@ -169,6 +180,10 @@ func main() {
 	if gen.Recovered > 0 {
 		fmt.Printf("  resilience: %d function(s) recovered from crashes (flagged at confidence 0)\n", gen.Recovered)
 	}
+	if *verify {
+		fmt.Printf("  verify: %d passed as generated, %d repaired, %d still diverging\n",
+			gen.Verified-gen.Repaired, gen.Repaired, gen.RepairFailed)
+	}
 	for _, m := range corpus.Modules {
 		if sec, ok := gen.Seconds[string(m)]; ok {
 			fmt.Printf("  %s: %.1fs\n", m, sec)
@@ -197,6 +212,10 @@ func main() {
 		for _, m := range be.ByModule() {
 			fmt.Printf("  %-3s  %d/%d accurate  (%.0f%% statements)\n",
 				m.Module, m.Accurate, m.Funcs, 100*m.StatementAccuracy())
+		}
+		if rs := be.Repair(); *verify && rs.Attempted > 0 {
+			fmt.Printf("verified pass@1: %.1f%% (plain %.1f%%), repair rate %.1f%% over %d attempted\n",
+				100*rs.VerifiedPass1(), 100*rs.PlainPass1(), 100*rs.RepairRate(), rs.Attempted)
 		}
 	}
 	fmt.Printf("done in %s\n", time.Since(start).Round(time.Second))

@@ -11,9 +11,19 @@
 // function definition line).
 package confidence
 
+import "math"
+
 // Threshold is the paper's accuracy threshold: statements scoring below
 // it are treated as incorrect (and removed or reviewed).
 const Threshold = 0.5
+
+// NaN policy: a score that is NaN (a corrupted model output, a poisoned
+// feature ratio) carries no information and must never pass a filter by
+// accident. Likely treats NaN as explicitly not-likely, BandOf maps it to
+// BandLow, and Statement/Function clamp non-finite results to 0 — the
+// same bucket as "maximal uncertainty". Before these guards, NaN reached
+// the same outcomes only through the incidental semantics of failed
+// float comparisons.
 
 // Statement computes CS(S_k).
 //
@@ -36,6 +46,9 @@ func Statement(common, total int, choices []int, has bool) float64 {
 		}
 		score += 1 / (float64(total) * float64(n))
 	}
+	if math.IsNaN(score) || math.IsInf(score, 0) {
+		return 0
+	}
 	if score > 1 {
 		score = 1
 	}
@@ -49,11 +62,20 @@ func Function(stmtScores []float64) float64 {
 	if len(stmtScores) == 0 {
 		return 0
 	}
-	return stmtScores[0]
+	if s := stmtScores[0]; !math.IsNaN(s) {
+		return s
+	}
+	return 0
 }
 
-// Likely reports whether a score clears the accuracy threshold.
-func Likely(score float64) bool { return score >= Threshold }
+// Likely reports whether a score clears the accuracy threshold. NaN is
+// explicitly not likely (not merely by comparison accident).
+func Likely(score float64) bool {
+	if math.IsNaN(score) {
+		return false
+	}
+	return score >= Threshold
+}
 
 // Band buckets a score the way Fig. 8 reports it: "≈1.00" means > 0.99.
 type Band int
@@ -65,9 +87,12 @@ const (
 	BandHigh             // > 0.99 ("≈ 1.00")
 )
 
-// BandOf classifies a score.
+// BandOf classifies a score. NaN maps to BandLow by policy: an
+// uninterpretable score is flagged for review, never trusted.
 func BandOf(score float64) Band {
 	switch {
+	case math.IsNaN(score):
+		return BandLow
 	case score > 0.99:
 		return BandHigh
 	case score >= Threshold:

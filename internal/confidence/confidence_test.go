@@ -110,3 +110,35 @@ func TestStatementRangeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// NaN must be rejected explicitly at every surface — not merely fall
+// through a failed comparison — and empty score lists stay at 0.
+func TestNaNEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	if Likely(nan) {
+		t.Error("Likely(NaN) = true; NaN must never clear the threshold")
+	}
+	if got := BandOf(nan); got != BandLow {
+		t.Errorf("BandOf(NaN) = %v, want BandLow", got)
+	}
+	if got := Function(nil); got != 0 {
+		t.Errorf("Function(nil) = %v, want 0", got)
+	}
+	if got := Function([]float64{}); got != 0 {
+		t.Errorf("Function(empty) = %v, want 0", got)
+	}
+	if got := Function([]float64{nan, 0.9}); got != 0 {
+		t.Errorf("Function([NaN, …]) = %v, want 0", got)
+	}
+	if got := Function([]float64{0.7, nan}); got != 0.7 {
+		t.Errorf("Function ignores later scores: got %v, want 0.7", got)
+	}
+	// Statement cannot produce NaN from integer inputs, but the clamp is
+	// the documented contract: non-finite intermediate results map to 0.
+	if got := Statement(3, 4, []int{2}, true); math.IsNaN(got) || got < 0 || got > 1 {
+		t.Errorf("Statement returned out-of-range score %v", got)
+	}
+	if got := Statement(0, 0, nil, true); got != 0 {
+		t.Errorf("Statement with total 0 = %v, want 0", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"vega/internal/generate"
 	"vega/internal/model"
 	"vega/internal/obs"
+	"vega/internal/repair"
 	"vega/internal/template"
 	"vega/internal/tensor"
 )
@@ -264,6 +265,15 @@ type GenOptions struct {
 	// beam→greedy rung of the serving degrade ladder. It never sets
 	// BeamFallback: a requested downgrade is not a capability failure.
 	Greedy bool
+	// Verify turns on verify-and-repair for this request (OR-ed with
+	// Cfg.Verify): generated functions are executed against ground truth
+	// and repaired from counterexamples on divergence.
+	Verify bool
+	// SkipRepair keeps verification on but skips the repair rounds — the
+	// pressure ≥ SkipRepairAt rung of the serving degrade ladder.
+	// Functions still carry a verification status; diverging ones report
+	// VerifyFailed with zero rounds instead of burning decode budget.
+	SkipRepair bool
 }
 
 // moduleListed reports whether module survives a Modules filter (an empty
@@ -383,6 +393,27 @@ func (p *Pipeline) GenerateBackendOptions(ctx context.Context, target string, op
 		workers = len(tasks)
 	}
 
+	// Verify-and-repair: built only when requested, so the default path
+	// pays nothing (no oracle, no engine, not even a nil-check per row).
+	// One engine serves every worker — it is stateless between functions
+	// and each Verify builds a fresh eval universe, so per-function runs
+	// are independent and the output stays byte-identical for any worker
+	// count.
+	var eng *repair.Engine
+	repairRounds := -1 // engine default
+	if opt.Verify || p.Cfg.Verify {
+		var ref *corpus.Backend
+		if p.Corpus != nil {
+			ref = p.Corpus.Backends[target]
+		}
+		eng = repair.NewEngine(&repair.Oracle{Ref: ref},
+			repairDecoder{p: p, target: target},
+			repair.Options{MaxRounds: p.Cfg.RepairRounds}, p.Cfg.Obs)
+		if opt.SkipRepair {
+			repairRounds = 0 // verify only: the degrade ladder's rung
+		}
+	}
+
 	span.SetAttr(obs.Int("workers", workers), obs.Int("tasks", len(tasks)))
 	results := make([]*generate.Function, len(tasks))
 	durs := make([]float64, len(tasks))
@@ -412,6 +443,11 @@ func (p *Pipeline) GenerateBackendOptions(ctx context.Context, target string, op
 				start := time.Now()
 				results[i] = p.generateFunction(tasks[i].g, target, opt.Greedy)
 				durs[i] = time.Since(start).Seconds()
+				if eng != nil {
+					// Outside the decode timing: Seconds keeps Fig. 7's
+					// pure-decode semantics whether or not verify is on.
+					eng.Run(ctx, results[i], repairRounds)
+				}
 				fnSpan.End()
 				p.gm.functions.Inc()
 				p.gm.decodeSeconds.Observe(durs[i])
@@ -434,6 +470,17 @@ func (p *Pipeline) GenerateBackendOptions(ctx context.Context, target string, op
 		if fn.Failed() {
 			b.Recovered++
 			p.gm.recovered.Inc()
+		}
+		if fn.Verify != nil {
+			switch fn.Verify.Status {
+			case generate.VerifyPassed:
+				b.Verified++
+			case generate.VerifyRepaired:
+				b.Verified++
+				b.Repaired++
+			case generate.VerifyFailed:
+				b.RepairFailed++
+			}
 		}
 		b.Functions = append(b.Functions, fn)
 		b.Seconds[tasks[i].module] += durs[i]

@@ -69,6 +69,15 @@ type Config struct {
 	// BeamWidth > 1 enables beam-search decoding at generation time
 	// (transformer only); 0/1 is greedy.
 	BeamWidth int
+	// Verify turns on the verify-and-repair loop: every generated
+	// function is executed against the held-out ground truth through the
+	// eval harness, and diverging functions get counterexample-guided
+	// repair rounds (internal/repair). Off by default — and strictly
+	// zero-cost when off: no oracle or engine is even constructed.
+	Verify bool
+	// RepairRounds bounds the CEGAR repair rounds per diverging function
+	// when Verify is on (0 = the repair.DefaultRounds of 3).
+	RepairRounds int
 	// Workers bounds the generation worker pool: how many interface
 	// functions Stage 3 decodes concurrently (model weights are read-only
 	// after training). 0 or negative means runtime.NumCPU(). Output is

@@ -102,6 +102,12 @@ type FuncResult struct {
 	// MultiSource marks accurate functions whose statements draw on more
 	// than one training target (Fig. 8's purple share).
 	MultiSource bool
+	// Verified carries the verify-and-repair status when Config.Verify
+	// was on during generation (VerifyNone otherwise).
+	Verified generate.VerifyStatus
+	// RepairRounds counts the CEGAR rounds the repair loop ran for this
+	// function.
+	RepairRounds int
 
 	// Statement-level accounting (Fig. 9 / Table 3).
 	RefStatements      int
@@ -121,6 +127,10 @@ func (u *Universe) EvaluateFunction(f *generate.Function, ref *cpp.Node, ft *tem
 		Emitted:    f.Generated(),
 		RefExists:  ref != nil,
 		Confidence: f.Confidence(),
+	}
+	if f.Verify != nil {
+		res.Verified = f.Verify.Status
+		res.RepairRounds = f.Verify.Rounds
 	}
 
 	var refTexts []string

@@ -130,6 +130,77 @@ func (be *BackendEval) Totals() ModuleStats {
 	return t
 }
 
+// RepairStats aggregates the verify-and-repair outcomes of a backend
+// evaluation (the verified pass@1 / pass@k / repair-rate table that sits
+// beside the paper's accuracy figures).
+type RepairStats struct {
+	// Attempted counts functions that were actually executed against
+	// ground truth (statuses passed/repaired/failed).
+	Attempted int
+	// PassedFirst counts functions that passed verification as generated
+	// — plain pass@1 restricted to the verified set.
+	PassedFirst int
+	// Repaired counts functions recovered by counterexample-guided
+	// repair; Failed counts functions whose repair rounds were exhausted.
+	Repaired, Failed int
+	// NoOracle counts functions with no ground truth to execute against.
+	NoOracle int
+	// Rounds sums CEGAR rounds across non-passing functions.
+	Rounds int
+}
+
+// PlainPass1 is the fraction of verified functions that passed as
+// generated (what pass@1 would have been without repair).
+func (r RepairStats) PlainPass1() float64 {
+	if r.Attempted == 0 {
+		return 0
+	}
+	return float64(r.PassedFirst) / float64(r.Attempted)
+}
+
+// VerifiedPass1 is the fraction of verified functions whose final
+// artifact passes — passed-first plus repaired. Repair never replaces a
+// function with a non-passing variant, so VerifiedPass1 >= PlainPass1 by
+// construction.
+func (r RepairStats) VerifiedPass1() float64 {
+	if r.Attempted == 0 {
+		return 0
+	}
+	return float64(r.PassedFirst+r.Repaired) / float64(r.Attempted)
+}
+
+// RepairRate is the share of initially diverging functions the repair
+// loop recovered.
+func (r RepairStats) RepairRate() float64 {
+	if r.Repaired+r.Failed == 0 {
+		return 0
+	}
+	return float64(r.Repaired) / float64(r.Repaired+r.Failed)
+}
+
+// Repair aggregates verify-and-repair outcomes across the evaluation
+// (all zeros when generation ran without Config.Verify).
+func (be *BackendEval) Repair() RepairStats {
+	var r RepairStats
+	for _, res := range be.Results {
+		switch res.Verified {
+		case generate.VerifyPassed:
+			r.Attempted++
+			r.PassedFirst++
+		case generate.VerifyRepaired:
+			r.Attempted++
+			r.Repaired++
+		case generate.VerifyFailed:
+			r.Attempted++
+			r.Failed++
+		case generate.VerifyNoOracle:
+			r.NoOracle++
+		}
+		r.Rounds += res.RepairRounds
+	}
+	return r
+}
+
 // ModuleAverageAccuracy is the mean of per-module accuracies — the
 // "average across the seven function modules" the paper reports alongside
 // the all-functions rate.

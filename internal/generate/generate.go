@@ -25,6 +25,62 @@ func (s Statement) Kept() bool {
 	return !s.Absent && s.Text != "" && confidence.Likely(s.Score)
 }
 
+// VerifyStatus is the outcome of the verify-and-repair loop for one
+// function (zero value = verification never ran).
+type VerifyStatus int
+
+// Verification statuses.
+const (
+	// VerifyNone: verification was not requested (or skipped under
+	// pressure) for this function.
+	VerifyNone VerifyStatus = iota
+	// VerifyNoOracle: no ground-truth implementation exists to execute
+	// against, so the function cannot be verified.
+	VerifyNoOracle
+	// VerifyPassed: the function as generated passed every regression
+	// case on the first attempt.
+	VerifyPassed
+	// VerifyRepaired: the initial function diverged, and counterexample-
+	// guided re-decoding produced a passing variant within the round
+	// bound; Statements holds the repaired form.
+	VerifyRepaired
+	// VerifyFailed: every repair round was exhausted without a passing
+	// variant; Statements holds the ORIGINAL generation (repair never
+	// makes a function worse than plain generation).
+	VerifyFailed
+)
+
+func (s VerifyStatus) String() string {
+	switch s {
+	case VerifyNoOracle:
+		return "no-oracle"
+	case VerifyPassed:
+		return "passed"
+	case VerifyRepaired:
+		return "repaired"
+	case VerifyFailed:
+		return "failed"
+	default:
+		return "unverified"
+	}
+}
+
+// Verification records the verify-and-repair outcome attached to a
+// generated function when Config.Verify is on.
+type Verification struct {
+	Status VerifyStatus
+	// Rounds counts the CEGAR repair rounds executed (0 when the function
+	// passed immediately or was never repaired).
+	Rounds int
+	// Counterexample is the human-readable minimal counterexample of the
+	// last failing verification: the input values and the first diverging
+	// statement. Empty for passing functions.
+	Counterexample string
+	// RepairedRows lists the template rows whose statements were replaced
+	// by the repair loop (only set when Status is VerifyRepaired).
+	RepairedRows []int
+}
+
 // Function is one generated target-specific function.
 type Function struct {
 	Name       string // interface function name
@@ -35,6 +91,9 @@ type Function struct {
 	// function carries no statements and scores confidence 0, so it is
 	// flagged for manual review instead of aborting the backend.
 	Err string
+	// Verify is the verify-and-repair outcome; nil when verification was
+	// not requested.
+	Verify *Verification
 }
 
 // FailedFunction builds the zero-confidence placeholder emitted when
@@ -159,6 +218,16 @@ type Backend struct {
 	// list short — a deliberate degradation (load shedding), distinct
 	// from Partial's "stopped by cancellation".
 	Truncated bool
+	// Verified counts functions whose final artifact passed execution
+	// against ground truth (VerifyPassed + VerifyRepaired); zero when
+	// verification was off.
+	Verified int
+	// Repaired counts functions recovered by counterexample-guided
+	// repair (VerifyRepaired).
+	Repaired int
+	// RepairFailed counts functions that diverged and exhausted every
+	// repair round (VerifyFailed).
+	RepairFailed int
 }
 
 // ByModule groups the functions per module in stable order.

@@ -11,9 +11,11 @@ import (
 // pressure cheapens requests in two rungs, each marked explicitly in the
 // response so a degraded 200 is never mistaken for a full-fidelity one:
 //
-//  1. pressure >= GreedyAt:   beam search downgrades to greedy decoding.
-//  2. pressure >= TruncateAt: whole-backend requests are truncated to
+//  1. pressure >= GreedyAt:     beam search downgrades to greedy decoding.
+//  2. pressure >= TruncateAt:   whole-backend requests are truncated to
 //     TruncateFunctions functions.
+//  3. pressure >= SkipRepairAt: verify-enabled requests keep verification
+//     but skip the CEGAR repair rounds (the most expensive re-decode work).
 //
 // Pressure is Scheduler.Pressure(): (waiting+running)/(queue+workers).
 type DegradePolicy struct {
@@ -23,15 +25,20 @@ type DegradePolicy struct {
 	// TruncateAt is the pressure at which MaxFunctions truncation kicks
 	// in (0 disables the rung).
 	TruncateAt float64
+	// SkipRepairAt is the pressure at which verify-enabled requests stop
+	// running repair rounds — functions are still verified and statused,
+	// but divergences are reported instead of repaired (0 disables).
+	SkipRepairAt float64
 	// TruncateFunctions is the per-request function cap applied at the
 	// TruncateAt rung (ignored when the request already asks for fewer).
 	TruncateFunctions int
 }
 
 // DefaultDegradePolicy mirrors the queue-sizing rationale in DESIGN.md:
-// start cheapening at half load, start truncating at three quarters.
+// start cheapening at half load, start truncating (and dropping repair
+// rounds) at three quarters.
 func DefaultDegradePolicy() DegradePolicy {
-	return DegradePolicy{GreedyAt: 0.5, TruncateAt: 0.75, TruncateFunctions: 16}
+	return DegradePolicy{GreedyAt: 0.5, TruncateAt: 0.75, SkipRepairAt: 0.75, TruncateFunctions: 16}
 }
 
 // Apply folds the ladder into a request's GenOptions at the given
@@ -50,6 +57,11 @@ func (d DegradePolicy) Apply(opt core.GenOptions, beamWidth int, pressure float6
 			reasons = append(reasons,
 				fmt.Sprintf("maxFunctions=%d: pressure %.2f >= %.2f", d.TruncateFunctions, pressure, d.TruncateAt))
 		}
+	}
+	if d.SkipRepairAt > 0 && pressure >= d.SkipRepairAt && opt.Verify && !opt.SkipRepair {
+		opt.SkipRepair = true
+		reasons = append(reasons,
+			fmt.Sprintf("repair rounds skipped: pressure %.2f >= %.2f", pressure, d.SkipRepairAt))
 	}
 	return opt, reasons
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"time"
@@ -35,6 +36,13 @@ type GenerateRequest struct {
 	// DeadlineMS overrides the server's default per-request deadline,
 	// clamped to the configured maximum.
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Verify turns on the verify-and-repair loop for this request: each
+	// generated function is executed against the reference backend and
+	// repaired from counterexamples on divergence. The response carries a
+	// per-function verification status and repair-round count. Under
+	// pressure >= the policy's SkipRepairAt, repair rounds are skipped
+	// (verification still runs) and the degradation is marked.
+	Verify bool `json:"verify,omitempty"`
 }
 
 // StatementJSON is one generated statement with its confidence scores.
@@ -54,6 +62,14 @@ type FunctionJSON struct {
 	Failed     bool            `json:"failed,omitempty"`
 	Error      string          `json:"error,omitempty"`
 	Statements []StatementJSON `json:"statements"`
+	// Verify is the verification status when the request asked for it:
+	// "passed", "repaired", "failed", "no-oracle" (absent otherwise).
+	Verify string `json:"verify,omitempty"`
+	// RepairRounds counts CEGAR rounds run for this function.
+	RepairRounds int `json:"repair_rounds,omitempty"`
+	// Counterexample carries the minimal diverging input/outcome witness
+	// for functions that verification could not repair.
+	Counterexample string `json:"counterexample,omitempty"`
 }
 
 // GenerateResponse is the POST /v1/generate 200 body. Degraded is set
@@ -69,6 +85,9 @@ type GenerateResponse struct {
 	Partial        bool               `json:"partial,omitempty"`
 	Truncated      bool               `json:"truncated,omitempty"`
 	Recovered      int                `json:"recovered,omitempty"`
+	Verified       int                `json:"verified,omitempty"`
+	Repaired       int                `json:"repaired,omitempty"`
+	RepairFailed   int                `json:"repair_failed,omitempty"`
 	Functions      []FunctionJSON     `json:"functions"`
 	Seconds        map[string]float64 `json:"seconds,omitempty"`
 }
@@ -80,17 +99,33 @@ type errorJSON struct {
 	Partial    int    `json:"partial_functions,omitempty"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes a JSON response body. Encode errors (a client hanging
+// up mid-body, a value that cannot marshal) used to be silently dropped,
+// leaving truncated responses invisible; they now count in
+// serve.encode_errors and log once per server.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.m.encodeErrors.Inc()
+		s.encodeWarn.Do(func() {
+			log.Printf("serve: response encode failed (truncated body): %v (counted in serve.encode_errors)", err)
+		})
+	}
 }
 
+// writeError writes a non-200 body. Every 429 carries a Retry-After
+// header of at least one second — even at cold start, before any job has
+// seeded the scheduler's duration EWMA — so shed clients always get a
+// concrete backoff.
 func (s *Server) writeError(w http.ResponseWriter, code int, msg string, retryAfter int) {
+	if code == http.StatusTooManyRequests && retryAfter < 1 {
+		retryAfter = 1
+	}
 	if retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	}
-	writeJSON(w, code, errorJSON{Error: msg, RetryAfter: retryAfter})
+	s.writeJSON(w, code, errorJSON{Error: msg, RetryAfter: retryAfter})
 }
 
 // genResult is the state the admitted job writes and the handler reads
@@ -123,7 +158,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown target %q", req.Target), 0)
 		return
 	}
-	opt := core.GenOptions{MaxFunctions: req.MaxFunctions}
+	opt := core.GenOptions{MaxFunctions: req.MaxFunctions, Verify: req.Verify}
 	if req.Module != "" {
 		if !moduleListed(moduleNames(), req.Module) {
 			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown module %q", req.Module), 0)
@@ -224,9 +259,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		if res.backend != nil {
 			n = len(res.backend.Functions)
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusGatewayTimeout)
-		json.NewEncoder(w).Encode(errorJSON{Error: "deadline exceeded", Partial: n})
+		s.writeJSON(w, http.StatusGatewayTimeout, errorJSON{Error: "deadline exceeded", Partial: n})
 		return
 	}
 
@@ -241,7 +274,7 @@ func (s *Server) finishGenerate(w http.ResponseWriter, resp *GenerateResponse, s
 		w.Header().Set("X-Vega-Degraded", "true")
 	}
 	s.m.requestSeconds.Observe(time.Since(start).Seconds())
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // backendResponse converts a generated backend into the wire form.
@@ -260,6 +293,9 @@ func backendResponse(target string, b *generate.Backend, snapID string, reasons 
 	resp.Partial = b.Partial
 	resp.Truncated = b.Truncated
 	resp.Recovered = b.Recovered
+	resp.Verified = b.Verified
+	resp.Repaired = b.Repaired
+	resp.RepairFailed = b.RepairFailed
 	resp.Seconds = b.Seconds
 	for _, f := range b.Functions {
 		fj := FunctionJSON{
@@ -269,6 +305,11 @@ func backendResponse(target string, b *generate.Backend, snapID string, reasons 
 			Failed:     f.Failed(),
 			Error:      f.Err,
 			Statements: make([]StatementJSON, 0, len(f.Statements)),
+		}
+		if f.Verify != nil {
+			fj.Verify = f.Verify.Status.String()
+			fj.RepairRounds = f.Verify.Rounds
+			fj.Counterexample = f.Verify.Counterexample
 		}
 		for _, st := range f.Statements {
 			fj.Statements = append(fj.Statements, StatementJSON{
@@ -327,7 +368,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 
 	fail := func(err error) {
 		s.m.swapFailures.Inc()
-		writeJSON(w, http.StatusServiceUnavailable, ReloadResponse{
+		s.writeJSON(w, http.StatusServiceUnavailable, ReloadResponse{
 			Swapped: false,
 			Error:   err.Error(),
 		})
@@ -345,10 +386,10 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	cand := NewSnapshot(s.holder.NextID("reload"), req.Checkpoint, p)
 	old, drained, err := s.swapIn(ctx, cand)
 	if err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, ReloadResponse{Swapped: false, Error: err.Error()})
+		s.writeJSON(w, http.StatusServiceUnavailable, ReloadResponse{Swapped: false, Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, ReloadResponse{
+	s.writeJSON(w, http.StatusOK, ReloadResponse{
 		Swapped:  true,
 		Snapshot: cand.ID,
 		Previous: old.ID,
@@ -381,7 +422,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body.Status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, body)
+	s.writeJSON(w, code, body)
 }
 
 // targetsJSON is the GET /v1/targets body: the request vocabulary.
@@ -405,7 +446,7 @@ func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
 	for _, g := range snap.Pipeline.Groups {
 		out.Functions = append(out.Functions, g.Func.Name)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // moduleNames lists the corpus modules as strings.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -82,6 +83,7 @@ type serveMetrics struct {
 	swaps          *obs.Counter   // serve.swaps: successful snapshot cutovers
 	swapFailures   *obs.Counter   // serve.swap_failures: reloads rejected before cutover
 	swapDrainMiss  *obs.Counter   // serve.swap_drain_timeouts: drains that outlived DrainTimeout
+	encodeErrors   *obs.Counter   // serve.encode_errors: response bodies that failed to encode
 	requestSeconds *obs.Histogram // serve.request_seconds: admission → response
 }
 
@@ -94,6 +96,7 @@ func newServeMetrics(o *obs.Obs) serveMetrics {
 		swaps:          o.Counter("serve.swaps"),
 		swapFailures:   o.Counter("serve.swap_failures"),
 		swapDrainMiss:  o.Counter("serve.swap_drain_timeouts"),
+		encodeErrors:   o.Counter("serve.encode_errors"),
 		requestSeconds: o.Histogram("serve.request_seconds"),
 	}
 }
@@ -107,8 +110,9 @@ type Server struct {
 	m         serveMetrics
 	startedAt time.Time
 
-	httpSrv  *http.Server
-	draining atomic.Bool
+	httpSrv    *http.Server
+	draining   atomic.Bool
+	encodeWarn sync.Once
 }
 
 // New wires a server around the initial snapshot. The snapshot is
