@@ -6,10 +6,10 @@
 GO ?= go
 
 .PHONY: check lint vet fmt-check test test-race obs-race kernels-race \
-	stage1-race serve-race repair-race build bench bench-stage1 \
-	bench-stage2 bench-stage3 bench-repair
+	quant-race stage1-race serve-race repair-race build bench \
+	bench-stage1 bench-stage2 bench-stage3 bench-repair
 
-check: lint obs-race kernels-race stage1-race serve-race repair-race test-race
+check: lint obs-race kernels-race quant-race stage1-race serve-race repair-race test-race
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,15 @@ obs-race:
 kernels-race:
 	$(GO) test -race ./internal/tensor
 	$(GO) test -race -run 'LossBatch|FitWorkersDeterministic|Kernel' ./internal/model
+
+# Int8 quantization suite under the race detector: the quantize/int8
+# matmul differentials and their worker-count bit-identity in tensor,
+# plus the model layer's quantized-view build (sync.Once under
+# concurrent decoders) and batched-encoder worker differentials. Fails
+# fast when the scale-once contract or the lazy view construction races.
+quant-race:
+	$(GO) test -race -run 'Quant|Int8|Scratch' ./internal/tensor
+	$(GO) test -race -run 'Quant|EncodeBatch|DecoderFromMemory' ./internal/model
 
 # Stage 1 concurrency suite under the race detector: the artifact cache
 # round-trips plus the worker-count differential (Stage1Workers 1/3/8

@@ -33,27 +33,40 @@ type doc struct {
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
-// deriveSpeedups annotates paired variants: when results "X" and "XWarm"
-// both appear (-cpu suffixes stripped), XWarm gains a speedup_vs_cold
-// metric, so the cold/warm ratio is recorded in the artifact itself
-// (e.g. BenchmarkStage1Templatization vs its cache-hit variant).
+// deriveSpeedups annotates paired variants (-cpu suffixes stripped):
+//
+//   - "X" + "XWarm": the warm variant gains speedup_vs_cold, so the
+//     cold/warm ratio is recorded in the artifact itself (e.g.
+//     BenchmarkStage1Templatization vs its cache-hit variant).
+//   - "X" + "XFloat32": the base variant gains speedup_vs_float32 —
+//     here the suffixed run is the full-precision baseline and the bare
+//     name is the quantized fast path (BenchmarkFig7InferenceTime).
 func deriveSpeedups(d *doc) {
 	byBase := make(map[string]float64)
 	for _, r := range d.Results {
 		base, _, _ := strings.Cut(r.Name, "-")
 		byBase[base] = r.NsPerOp
 	}
-	for i := range d.Results {
-		r := &d.Results[i]
-		base, _, _ := strings.Cut(r.Name, "-")
-		cold, ok := byBase[strings.TrimSuffix(base, "Warm")]
-		if !strings.HasSuffix(base, "Warm") || !ok || r.NsPerOp == 0 {
-			continue
-		}
+	addMetric := func(r *result, key string, v float64) {
 		if r.Metrics == nil {
 			r.Metrics = make(map[string]float64)
 		}
-		r.Metrics["speedup_vs_cold"] = cold / r.NsPerOp
+		r.Metrics[key] = v
+	}
+	for i := range d.Results {
+		r := &d.Results[i]
+		if r.NsPerOp == 0 {
+			continue
+		}
+		base, _, _ := strings.Cut(r.Name, "-")
+		if strings.HasSuffix(base, "Warm") {
+			if cold, ok := byBase[strings.TrimSuffix(base, "Warm")]; ok {
+				addMetric(r, "speedup_vs_cold", cold/r.NsPerOp)
+			}
+		}
+		if f32, ok := byBase[base+"Float32"]; ok {
+			addMetric(r, "speedup_vs_float32", f32/r.NsPerOp)
+		}
 	}
 }
 

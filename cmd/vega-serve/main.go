@@ -69,6 +69,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		arch      = flag.String("arch", "transformer", "model architecture: transformer, gru, bert")
 		beam      = flag.Int("beam", 1, "beam width for full-fidelity decoding (degrades to greedy under pressure)")
+		quantize  = flag.Bool("quantize", false, "decode every request through int8 quantized weights (identical output, lower latency)")
+		beamEsc   = flag.Bool("beam-escalate", false, "greedy-first beam decoding: re-decode with the beam only below the confidence threshold")
 		genWork   = flag.Int("gen-workers", 0, "decode workers inside one request (0 = NumCPU)")
 		kworkers  = flag.Int("kernel-workers", 0, "goroutines per large matmul kernel (0 = GOMAXPROCS)")
 		s1workers = flag.Int("stage1-workers", 0, "parallel templatization workers (0 = NumCPU)")
@@ -110,6 +112,8 @@ func main() {
 	cfg.MaxSamples = *samples
 	cfg.Arch = *arch
 	cfg.BeamWidth = *beam
+	cfg.Quantize = *quantize
+	cfg.BeamEscalate = *beamEsc
 	cfg.Workers = *genWork
 	cfg.KernelWorkers = *kworkers
 	cfg.Stage1Workers = *s1workers

@@ -48,6 +48,14 @@ func (p *Pipeline) candidateSet(g *Group, row, varID int, prop feature.Property,
 	}
 	refs := p.referenceValues(g, row, varID, exclude)
 	ord := p.ordinal(g, prop.Name, row, varID)
+	// The similarity loop below is candidates × refs; splitting each side
+	// into subword units once here (instead of once per pair inside
+	// unitSimilarity) keeps the dice scores bit-identical while removing
+	// the dominant allocation cost of sample encoding.
+	refUnits := make([][]string, len(refs))
+	for i, r := range refs {
+		refUnits[i] = model.Units(strings.Trim(r, "\""))
+	}
 	type scored struct {
 		val   string
 		score float64
@@ -56,9 +64,24 @@ func (p *Pipeline) candidateSet(g *Group, row, varID int, prop feature.Property,
 	items := make([]scored, 0, len(dep.Candidates))
 	for i, c := range dep.Candidates {
 		s := 0.0
-		for _, r := range refs {
-			if v := unitSimilarity(c, strings.Trim(r, "\"")); v > s {
-				s = v
+		if uc := model.Units(c); len(uc) > 0 {
+			set := make(map[string]bool, len(uc))
+			for _, u := range uc {
+				set[u] = true
+			}
+			for _, ru := range refUnits {
+				if len(ru) == 0 {
+					continue
+				}
+				common := 0
+				for _, u := range ru {
+					if set[u] {
+						common++
+					}
+				}
+				if v := 2 * float64(common) / float64(len(uc)+len(ru)); v > s {
+					s = v
+				}
 			}
 		}
 		// Ordinal proximity: candidates near the placeholder's position in

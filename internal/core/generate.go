@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vega/internal/confidence"
 	"vega/internal/corpus"
 	"vega/internal/faultinject"
 	"vega/internal/feature"
@@ -28,26 +29,32 @@ func joinTokens(toks []string) string { return template.JoinTokens(toks) }
 // field is nil — and therefore a no-cost no-op — when no observer is
 // installed.
 type genMetrics struct {
-	functions     *obs.Counter   // gen.functions: interface functions decoded
-	decodeSeconds *obs.Histogram // gen.decode_seconds: per-function decode time
-	queueWait     *obs.Histogram // gen.queue_wait_seconds: pool start → task pickup
-	recovered     *obs.Counter   // gen.recovered_panics: functions salvaged by the panic boundary
-	beamFallbacks *obs.Counter   // gen.beam_fallbacks: beam requests served greedily (wrong arch)
-	beamEmpty     *obs.Counter   // gen.beam_empty: BeamGenerate returned zero beams
-	kvHits        *obs.Counter   // gen.kv_cache_hits: decodes served by the KV-cached decoder
-	kvMisses      *obs.Counter   // gen.kv_cache_misses: reference/uncached or non-transformer decodes
+	functions      *obs.Counter   // gen.functions: interface functions decoded
+	decodeSeconds  *obs.Histogram // gen.decode_seconds: per-function decode time
+	queueWait      *obs.Histogram // gen.queue_wait_seconds: pool start → task pickup
+	recovered      *obs.Counter   // gen.recovered_panics: functions salvaged by the panic boundary
+	beamFallbacks  *obs.Counter   // gen.beam_fallbacks: beam requests served greedily (wrong arch)
+	beamEmpty      *obs.Counter   // gen.beam_empty: BeamGenerate returned zero beams
+	kvHits         *obs.Counter   // gen.kv_cache_hits: decodes served by the KV-cached decoder
+	kvMisses       *obs.Counter   // gen.kv_cache_misses: reference/uncached or non-transformer decodes
+	quantDecodes   *obs.Counter   // gen.quant_decodes: rows decoded on the int8 path
+	quantFallbacks *obs.Counter   // gen.quant_fallbacks: ambiguous int8 rows re-decoded in float32
+	escalations    *obs.Counter   // gen.escalations: low-confidence greedy rows re-decoded with beam
 }
 
 func newGenMetrics(o *obs.Obs) genMetrics {
 	return genMetrics{
-		functions:     o.Counter("gen.functions"),
-		decodeSeconds: o.Histogram("gen.decode_seconds"),
-		queueWait:     o.Histogram("gen.queue_wait_seconds"),
-		recovered:     o.Counter("gen.recovered_panics"),
-		beamFallbacks: o.Counter("gen.beam_fallbacks"),
-		beamEmpty:     o.Counter("gen.beam_empty"),
-		kvHits:        o.Counter("gen.kv_cache_hits"),
-		kvMisses:      o.Counter("gen.kv_cache_misses"),
+		functions:      o.Counter("gen.functions"),
+		decodeSeconds:  o.Histogram("gen.decode_seconds"),
+		queueWait:      o.Histogram("gen.queue_wait_seconds"),
+		recovered:      o.Counter("gen.recovered_panics"),
+		beamFallbacks:  o.Counter("gen.beam_fallbacks"),
+		beamEmpty:      o.Counter("gen.beam_empty"),
+		kvHits:         o.Counter("gen.kv_cache_hits"),
+		kvMisses:       o.Counter("gen.kv_cache_misses"),
+		quantDecodes:   o.Counter("gen.quant_decodes"),
+		quantFallbacks: o.Counter("gen.quant_fallbacks"),
+		escalations:    o.Counter("gen.escalations"),
 	}
 }
 
@@ -61,15 +68,45 @@ func newGenMetrics(o *obs.Obs) genMetrics {
 // function — one bad template row flags itself for review (the paper's
 // per-function confidence behaviour) instead of killing the backend.
 func (p *Pipeline) GenerateFunction(g *Group, target string) (fn *generate.Function) {
-	return p.generateFunction(g, target, false)
+	return p.generateFunction(g, target, genMode{})
 }
 
-// generateFunction is GenerateFunction with a per-call greedy override:
-// greedy true bypasses beam search regardless of Cfg.BeamWidth — the
-// serving degrade ladder's beam→greedy downgrade, which must not flip
-// the pipeline-wide BeamFallback flag (it is a deliberate per-request
-// choice, not a capability failure).
-func (p *Pipeline) generateFunction(g *Group, target string, greedy bool) (fn *generate.Function) {
+// genMode carries one generation call's decode strategy and any
+// precomputed state from the batch pre-pass. The zero value is the
+// historical behaviour: per-row self-encoded float32 decoding honoring
+// Cfg.BeamWidth.
+type genMode struct {
+	// greedy bypasses beam search regardless of Cfg.BeamWidth — the
+	// serving degrade ladder's beam→greedy downgrade, which must not flip
+	// the pipeline-wide BeamFallback flag (it is a deliberate per-request
+	// choice, not a capability failure).
+	greedy bool
+	// quantize routes row decodes through the int8 quantized weight view;
+	// rows whose quantized decode is Ambiguous are re-decoded in float32,
+	// so output accuracy is preserved by construction.
+	quantize bool
+	// escalate switches beam decoding to greedy-first: each row decodes
+	// greedily and only re-decodes with beam search when its leading
+	// confidence fails confidence.Threshold. No effect unless
+	// Cfg.BeamWidth > 1 and greedy is off.
+	escalate bool
+	// tv, when non-nil, is the precomputed target-value set (the batch
+	// pre-pass resolves it once per task; nil recomputes locally).
+	tv *feature.TargetFeatures
+	// rowMems, when non-nil, holds one pre-encoded encoder memory per
+	// template row (quantized iff quantize is set); nil entries, and a
+	// nil slice, self-encode per row.
+	rowMems [][]float32
+	// rowIDs, when non-nil, holds the encoded input token ids per
+	// template row, exactly what the batch pre-pass fed EncodeBatch —
+	// reusing them skips rebuilding the row features and re-encoding the
+	// vocabulary a second time per row. A nil slice (or short entry)
+	// rebuilds locally.
+	rowIDs [][]int
+}
+
+// generateFunction is GenerateFunction under an explicit decode mode.
+func (p *Pipeline) generateFunction(g *Group, target string, mode genMode) (fn *generate.Function) {
 	defer func() {
 		if r := recover(); r != nil {
 			fn = generate.FailedFunction(g.Func.Name, g.FT.Module, target,
@@ -79,19 +116,86 @@ func (p *Pipeline) generateFunction(g *Group, target string, greedy bool) (fn *g
 	if faultinject.Should(faultinject.GeneratePanic, g.Func.Name) {
 		panic(fmt.Sprintf("faultinject generate-panic in %s", g.Func.Name))
 	}
-	tv := p.Extractor.TargetValues(g.TF, target)
+	tv := mode.tv
+	if tv == nil {
+		tv = p.Extractor.TargetValues(g.TF, target)
+	}
 	fn = &generate.Function{
 		Name:   g.Func.Name,
 		Module: g.FT.Module,
 		Target: target,
 	}
 	for ri := range g.FT.Rows {
-		in := p.rowInputTokens(g, ri, tv, target)
-		inIDs := append([]int{model.CLS}, p.Vocab.Encode(in)...)
-		outIDs := p.decode(inIDs, greedy)
+		var inIDs []int
+		if mode.rowIDs != nil && ri < len(mode.rowIDs) {
+			inIDs = mode.rowIDs[ri]
+		} else {
+			in := p.rowInputTokens(g, ri, tv, target)
+			inIDs = append([]int{model.CLS}, p.Vocab.Encode(in)...)
+		}
+		var mem []float32
+		if mode.rowMems != nil && ri < len(mode.rowMems) {
+			mem = mode.rowMems[ri]
+		}
+		outIDs := p.decodeRow(inIDs, mode, mem)
 		fn.Statements = append(fn.Statements, p.decodeStatement(g, ri, tv, outIDs))
 	}
 	return fn
+}
+
+// decodeRow decodes one template row under mode. The fast path — taken
+// when quantization, a pre-encoded memory, or greedy-first escalation is
+// in play on the cached transformer — builds an incremental decoder
+// straight from the (possibly batch-encoded) memory; everything else
+// defers to the historical decode. Ambiguous quantized rows fall back to
+// float32, and under escalation a greedy row whose leading confidence
+// fails confidence.Threshold is re-decoded with full float32 beam
+// search, so both knobs trade only time, never accuracy.
+func (p *Pipeline) decodeRow(inIDs []int, mode genMode, mem []float32) []int {
+	t, isT := p.Model.(*model.Transformer)
+	canFast := isT && !p.uncachedDecode
+	beamConfigured := p.Cfg.BeamWidth > 1 && !mode.greedy
+	fast := canFast && (mode.quantize || mem != nil || (beamConfigured && mode.escalate))
+	if !fast || (beamConfigured && !mode.escalate) {
+		return p.decode(inIDs, mode.greedy)
+	}
+	m := mem
+	if m == nil {
+		m = t.EncodeBatch([][]int{inIDs}, mode.quantize)[0]
+	}
+	d := t.NewIncrementalDecoderFromMemory(m, mode.quantize)
+	out := t.GenerateFromDecoder(d, p.Cfg.MaxOutPieces)
+	if mode.quantize {
+		p.gm.quantDecodes.Inc()
+		if d.Ambiguous() {
+			// The quantized argmax may disagree with float32: re-decode
+			// the row at full precision (p.decode re-encodes float32 and
+			// keeps its own cache metrics).
+			p.gm.quantFallbacks.Inc()
+			out = p.decode(inIDs, true)
+		} else {
+			p.gm.kvHits.Inc()
+		}
+	} else {
+		p.gm.kvHits.Inc()
+	}
+	if beamConfigured && mode.escalate {
+		score, ok := p.leadingConfidence(out)
+		if confidence.NeedsEscalation(score, ok) {
+			p.gm.escalations.Inc()
+			return p.decode(inIDs, false)
+		}
+	}
+	return out
+}
+
+// leadingConfidence extracts the decoded row's leading confidence-bucket
+// value (ok false when the model emitted none).
+func (p *Pipeline) leadingConfidence(outIDs []int) (float64, bool) {
+	if len(outIDs) == 0 {
+		return 0, false
+	}
+	return p.Vocab.ConfidenceValue(outIDs[0])
 }
 
 // beamSearcher is the decoding capability beam search requires. The
@@ -274,6 +378,17 @@ type GenOptions struct {
 	// Functions still carry a verification status; diverging ones report
 	// VerifyFailed with zero rounds instead of burning decode budget.
 	SkipRepair bool
+	// Quantize routes this request's decodes through the int8 quantized
+	// weight view (OR-ed with Cfg.Quantize). Ambiguous rows re-decode in
+	// float32, so results match the full-precision path; the serving
+	// ladder's QuantizeAt rung sets this under pressure.
+	Quantize bool
+	// BeamEscalate switches beam decoding to greedy-first for this
+	// request (OR-ed with Cfg.BeamEscalate): rows decode greedily and
+	// re-decode with beam search only when their leading confidence
+	// fails confidence.Threshold. No effect when BeamWidth ≤ 1 or Greedy
+	// is set.
+	BeamEscalate bool
 }
 
 // moduleListed reports whether module survives a Modules filter (an empty
@@ -382,7 +497,6 @@ func (p *Pipeline) GenerateBackendOptions(ctx context.Context, target string, op
 				tasks = append(tasks, task{g, string(m)})
 			}
 		}
-		b.Seconds[string(m)] = 0
 	}
 
 	workers := p.Cfg.Workers
@@ -391,6 +505,95 @@ func (p *Pipeline) GenerateBackendOptions(ctx context.Context, target string, op
 	}
 	if workers > len(tasks) {
 		workers = len(tasks)
+	}
+
+	quantize := opt.Quantize || p.Cfg.Quantize
+	escalate := opt.BeamEscalate || p.Cfg.BeamEscalate
+
+	// Batch encode pre-pass: resolve each task's target values once, build
+	// every (task, row) encoder input in deterministic task order, and
+	// encode them in fixed-size chunks through the ragged batched encoder —
+	// wide enough to cross the kernel layer's parallel-dispatch gate, which
+	// per-row self-encoding rarely does. Rows then decode straight from
+	// their pre-encoded memories. The pass is skipped when it cannot help:
+	// a non-transformer or the reference uncached decoder self-encodes
+	// anyway, and a beam run without escalation re-encodes inside beam
+	// search regardless. Panics during value resolution or input building
+	// leave that task to the per-function boundary in generateFunction;
+	// a panic while encoding a chunk leaves those rows to self-encode.
+	tvs := make([]*feature.TargetFeatures, len(tasks))
+	for i := range tasks {
+		func() {
+			defer func() { _ = recover() }() // leave nil: generateFunction re-resolves
+			tvs[i] = p.Extractor.TargetValues(tasks[i].g.TF, target)
+		}()
+	}
+	taskMems := make([][][]float32, len(tasks))
+	taskIDs := make([][][]int, len(tasks))
+	encShare := make([]float64, len(tasks))
+	tModel, isT := p.Model.(*model.Transformer)
+	beamConfigured := p.Cfg.BeamWidth > 1 && !opt.Greedy
+	if isT && !p.uncachedDecode && !(beamConfigured && !escalate) {
+		type rowRef struct{ task, row int }
+		var refs []rowRef
+		var inputs [][]int
+		for i := range tasks {
+			if tvs[i] == nil {
+				continue
+			}
+			g := tasks[i].g
+			rows := func() (rows [][]int) {
+				defer func() {
+					if recover() != nil {
+						rows = nil
+					}
+				}()
+				for ri := range g.FT.Rows {
+					in := p.rowInputTokens(g, ri, tvs[i], target)
+					rows = append(rows, append([]int{model.CLS}, p.Vocab.Encode(in)...))
+				}
+				return rows
+			}()
+			if rows == nil {
+				continue
+			}
+			taskIDs[i] = rows
+			taskMems[i] = make([][]float32, len(rows))
+			for ri := range rows {
+				refs = append(refs, rowRef{i, ri})
+			}
+			inputs = append(inputs, rows...)
+		}
+		// Chunking bounds the shared backing array each batch pins (the
+		// memories are views into it) while still packing ~two orders of
+		// magnitude more rows per kernel call than self-encoding.
+		const encChunk = 128
+		for lo := 0; lo < len(inputs); lo += encChunk {
+			hi := lo + encChunk
+			if hi > len(inputs) {
+				hi = len(inputs)
+			}
+			chunkStart := time.Now()
+			mems := func() (m [][]float32) {
+				defer func() {
+					if recover() != nil {
+						m = nil
+					}
+				}()
+				return tModel.EncodeBatch(inputs[lo:hi], quantize)
+			}()
+			if mems == nil {
+				continue // these rows self-encode in decodeRow
+			}
+			// Seconds keeps Fig. 7's per-function semantics: the chunk's
+			// wall clock is attributed equally to the rows it encoded.
+			share := time.Since(chunkStart).Seconds() / float64(hi-lo)
+			for j, mem := range mems {
+				r := refs[lo+j]
+				taskMems[r.task][r.row] = mem
+				encShare[r.task] += share
+			}
+		}
 	}
 
 	// Verify-and-repair: built only when requested, so the default path
@@ -441,8 +644,14 @@ func (p *Pipeline) GenerateBackendOptions(ctx context.Context, target string, op
 					obs.String("func", tasks[i].g.Func.Name),
 					obs.String("module", tasks[i].module))
 				start := time.Now()
-				results[i] = p.generateFunction(tasks[i].g, target, opt.Greedy)
-				durs[i] = time.Since(start).Seconds()
+				results[i] = p.generateFunction(tasks[i].g, target, genMode{
+					greedy:   opt.Greedy,
+					quantize: quantize,
+					escalate: escalate,
+					tv:       tvs[i],
+					rowMems:  taskMems[i],
+				})
+				durs[i] = time.Since(start).Seconds() + encShare[i]
 				if eng != nil {
 					// Outside the decode timing: Seconds keeps Fig. 7's
 					// pure-decode semantics whether or not verify is on.

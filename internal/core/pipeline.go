@@ -69,6 +69,17 @@ type Config struct {
 	// BeamWidth > 1 enables beam-search decoding at generation time
 	// (transformer only); 0/1 is greedy.
 	BeamWidth int
+	// Quantize routes Stage 3 decoding through the int8 quantized weight
+	// view (transformer only; training always runs float32). Rows whose
+	// quantized decode is ambiguous re-decode in float32, so generated
+	// backends match the full-precision output. Per-request GenOptions.
+	// Quantize ORs with this.
+	Quantize bool
+	// BeamEscalate makes beam decoding greedy-first: each row decodes
+	// greedily, and only rows whose leading confidence falls below
+	// confidence.Threshold re-decode with the full beam. No effect unless
+	// BeamWidth > 1. Per-request GenOptions.BeamEscalate ORs with this.
+	BeamEscalate bool
 	// Verify turns on the verify-and-repair loop: every generated
 	// function is executed against the held-out ground truth through the
 	// eval harness, and diverging functions get counterexample-guided

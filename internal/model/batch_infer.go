@@ -1,0 +1,231 @@
+package model
+
+import (
+	"sync"
+
+	"vega/internal/tensor"
+)
+
+// Batched inference encoding. EncodeBatch reuses LossBatch's ragged
+// packing — samples laid back to back with an offset table, no padding,
+// no masks — for the tape-free forward encoder: every row-local op
+// (embedding lookup, layer norm, linear projection, GELU, residual add)
+// runs batched across all samples in one kernel call wide enough to
+// cross the tensor layer's parallel-dispatch gate, while attention — the
+// only op that mixes rows — runs per sample over its own row range.
+// Because each op is row-local, the per-sample results are bit-identical
+// to forwardEncode on the float32 path (kvcache_test.go enforces this)
+// and deterministic for any worker count on both paths.
+
+// bufPool recycles the batched encoder's float32 temporaries (x, h and
+// the per-layer projection outputs). Only scratch that dies inside
+// EncodeBatch goes through it — the returned memories are always freshly
+// allocated, since callers retain them.
+var bufPool sync.Pool
+
+// getBuf returns a zeroed float32 buffer of length n, reusing pooled
+// backing storage when it is large enough.
+func getBuf(n int) []float32 {
+	p, _ := bufPool.Get().(*[]float32)
+	if p == nil || cap(*p) < n {
+		if p != nil {
+			bufPool.Put(p)
+		}
+		return make([]float32, n)
+	}
+	s := (*p)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func putBuf(s []float32) {
+	s = s[:0]
+	bufPool.Put(&s)
+}
+
+// EncodeBatch encodes several inputs at once and returns one memory per
+// input (each a rows×Dim flat slice into a shared backing array; treat
+// them as read-only). quantized routes the linear projections through
+// the int8 weight view.
+func (t *Transformer) EncodeBatch(inputs [][]int, quantized bool) [][]float32 {
+	n := len(inputs)
+	if n == 0 {
+		return nil
+	}
+	dim := t.Cfg.Dim
+	var qv *qView
+	if quantized {
+		qv = t.quantView()
+	}
+	offs := make([]int, n+1)
+	clamped := make([][]int, n)
+	maxRows := 0
+	for i, in := range inputs {
+		clamped[i] = t.clampSeq(in)
+		offs[i+1] = offs[i] + len(clamped[i])
+		if len(clamped[i]) > maxRows {
+			maxRows = len(clamped[i])
+		}
+	}
+	rows := offs[n]
+	ffw := dim
+	for _, l := range t.Enc {
+		if c := l.FF.In.W.C; c > ffw {
+			ffw = c
+		}
+	}
+	x := getBuf(rows * dim)
+	for s, in := range clamped {
+		base := offs[s]
+		for i, tok := range in {
+			er := t.Embed.Row(tok)
+			pr := t.PosEnc.Row(i)
+			row := x[(base+i)*dim : (base+i+1)*dim]
+			for j := range row {
+				row[j] = er[j] + pr[j]
+			}
+		}
+	}
+	h := getBuf(rows * dim)
+	qp := getBuf(rows * dim)
+	kp := getBuf(rows * dim)
+	vp := getBuf(rows * dim)
+	attn := getBuf(rows * dim)
+	so := getBuf(rows * dim)
+	f := getBuf(rows * ffw)
+	scores := getBuf(maxRows)
+	smax, gelu := softmaxRow, geluRow
+	if qv != nil {
+		smax, gelu = qSoftmaxRow, qGeluRow
+	}
+	var qm *tensor.QMat
+	if qv != nil {
+		qm = getQa()
+	}
+	// qlin batch-quantizes src once, then runs it through each (dst,
+	// weight) pair — the encoder quantizes h a single time for all three
+	// attention projections.
+	qlin := func(src []float32, c int, dsts [][]float32, qls []*qLin) {
+		tensor.QuantizeRowsInto(qm, src, rows, c)
+		for i, dst := range dsts {
+			qLinearRowsFwdPre(dst, qm, qls[i])
+		}
+	}
+	for li, l := range t.Enc {
+		var qe *qEncoderLayer
+		if qv != nil {
+			qe = &qv.enc[li]
+		}
+		layerNormRows(h, x, rows, l.N1.Gain.Data, l.N1.Bias.Data)
+		if qe != nil {
+			qlin(h, dim, [][]float32{qp, kp, vp},
+				[]*qLin{&qe.attn.wq, &qe.attn.wk, &qe.attn.wv})
+		} else {
+			linearRowsFwdInto(qp, h, rows, l.Attn.WQ)
+			linearRowsFwdInto(kp, h, rows, l.Attn.WK)
+			linearRowsFwdInto(vp, h, rows, l.Attn.WV)
+		}
+		for i := range attn {
+			attn[i] = 0
+		}
+		for s := 0; s < n; s++ {
+			lo, hi := offs[s], offs[s+1]
+			attendRowsPre(attn[lo*dim:hi*dim],
+				qp[lo*dim:hi*dim], kp[lo*dim:hi*dim], vp[lo*dim:hi*dim],
+				scores, hi-lo, hi-lo, l.Attn, smax)
+		}
+		if qe != nil {
+			qlin(attn, dim, [][]float32{so}, []*qLin{&qe.attn.wo})
+		} else {
+			linearRowsFwdInto(so, attn, rows, l.Attn.WO)
+		}
+		for j := range x {
+			x[j] += so[j]
+		}
+		layerNormRows(h, x, rows, l.N2.Gain.Data, l.N2.Bias.Data)
+		fl := f[:rows*l.FF.In.W.C]
+		// so is dead after the attention residual; reuse it for the
+		// feed-forward output.
+		if qe != nil {
+			qlin(h, dim, [][]float32{fl}, []*qLin{&qe.ffIn})
+			gelu(fl)
+			qlin(fl, l.FF.In.W.C, [][]float32{so}, []*qLin{&qe.ffOut})
+		} else {
+			linearRowsFwdInto(fl, h, rows, l.FF.In)
+			gelu(fl)
+			linearRowsFwdInto(so, fl, rows, l.FF.Out)
+		}
+		for j := range x {
+			x[j] += so[j]
+		}
+	}
+	if qm != nil {
+		qaPool.Put(qm)
+	}
+	out := make([]float32, rows*dim)
+	layerNormRows(out, x, rows, t.NormE.Gain.Data, t.NormE.Bias.Data)
+	for _, b := range [][]float32{x, h, qp, kp, vp, attn, so, f, scores} {
+		putBuf(b)
+	}
+	mems := make([][]float32, n)
+	for s := 0; s < n; s++ {
+		mems[s] = out[offs[s]*dim : offs[s+1]*dim]
+	}
+	return mems
+}
+
+// GenerateScoredFromDecoder is GenerateScored against an
+// already-prepared (fresh, zero-position) decoder — the entry point for
+// callers that batch-encode inputs and decode each one from its memory
+// slice. The decoder's quantized/float32 mode is whatever it was built
+// with; d.Ambiguous() afterwards reports whether a quantized decode is
+// at risk of disagreeing with float32. The decoder's scratch is released
+// on return (the decoder stays usable; see Release).
+func (t *Transformer) GenerateScoredFromDecoder(d *IncrementalDecoder, maxLen int) ([]int, float64) {
+	var out []int
+	var logp float64
+	if maxLen < 1 || t.Cfg.MaxSeq < 2 {
+		return out, 0
+	}
+	defer d.Release()
+	last := BOS
+	for len(out) < maxLen && len(out)+1 < t.Cfg.MaxSeq {
+		row := d.Step(last)
+		next := argmax(row)
+		if d.quant != nil {
+			logp += qLogProb(row, next)
+		} else {
+			logp += logProb(row, next)
+		}
+		if next == EOS {
+			break
+		}
+		out = append(out, next)
+		last = next
+	}
+	return out, logp / float64(len(out)+1)
+}
+
+// GenerateFromDecoder is GenerateScoredFromDecoder without the score:
+// per-step scoring costs a full-vocabulary exponential sum, and the
+// greedy fast path discards it, so skipping the bookkeeping is pure
+// profit. The decoder's scratch is released on return.
+func (t *Transformer) GenerateFromDecoder(d *IncrementalDecoder, maxLen int) []int {
+	var out []int
+	if maxLen < 1 || t.Cfg.MaxSeq < 2 {
+		return out
+	}
+	defer d.Release()
+	last := BOS
+	for len(out) < maxLen && len(out)+1 < t.Cfg.MaxSeq {
+		next := argmax(d.Step(last))
+		if next == EOS {
+			break
+		}
+		out = append(out, next)
+		last = next
+	}
+	return out
+}

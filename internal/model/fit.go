@@ -116,9 +116,11 @@ func FitContext(ctx context.Context, m Seq2Seq, samples []Sample, opt TrainOptio
 	// but override Loss) train per sample so their Loss override is honored.
 	tr, _ := m.(*Transformer)
 	if tr != nil {
-		// Training mutates Embed in place; the incremental decoder's
-		// transposed-embedding cache must be rebuilt afterwards.
+		// Training mutates the weights in place; the incremental decoder's
+		// transposed-embedding cache and the int8 quantized view must be
+		// rebuilt afterwards.
 		defer tr.invalidateEmbT()
+		defer tr.invalidateQuant()
 	}
 	adam := NewAdam(params, opt.LR)
 	rng := rand.New(rand.NewSource(opt.Seed))

@@ -44,6 +44,14 @@ type IncrementalDecoder struct {
 	layers []decLayerCache // one per decoder layer
 	pos    int             // next position to be fed
 	scr    *decScratch     // lazily allocated, never shared across clones
+
+	// quant switches Step's linears and logits onto the int8 weight view
+	// (nil = exact float32 path). ambiguous latches when any step's top-2
+	// logit margin falls under QuantMargin: the quantized argmax may then
+	// differ from float32, and the caller should re-decode that row at
+	// full precision.
+	quant     *qView
+	ambiguous bool
 }
 
 // decScratch holds the per-decoder buffers Step reuses between calls, so
@@ -54,6 +62,7 @@ type decScratch struct {
 	f                    []float32 // feed-forward hidden row
 	scores               []float32 // attention scores, MaxSeq wide
 	logits               []float32
+	qrow                 []int8 // quantized-activation row (quant path)
 }
 
 // decLayerCache holds one decoder layer's attention state. crossK/crossV
@@ -68,44 +77,108 @@ type decLayerCache struct {
 // NewIncrementalDecoder runs the encoder over input and precomputes the
 // per-layer cross-attention projections of the memory.
 func (t *Transformer) NewIncrementalDecoder(input []int) *IncrementalDecoder {
-	mem := t.forwardEncode(input)
+	return t.NewIncrementalDecoderFromMemory(t.forwardEncode(input), false)
+}
+
+// NewIncrementalDecoderFromMemory builds a decoder over an
+// already-computed encoder memory (a flat rows×Dim slice, e.g. one
+// sample's slice of an EncodeBatch result; it is only read). quantized
+// routes the cross projections here and every per-step linear plus the
+// logits through the int8 weight view; the float32 path is bit-identical
+// to NewIncrementalDecoder.
+func (t *Transformer) NewIncrementalDecoderFromMemory(mem []float32, quantized bool) *IncrementalDecoder {
 	d := &IncrementalDecoder{t: t, memR: len(mem) / t.Cfg.Dim}
+	if quantized {
+		d.quant = t.quantView()
+	}
 	d.layers = make([]decLayerCache, len(t.Dec))
-	kvCap := t.Cfg.MaxSeq * t.Cfg.Dim
+	var qm *tensor.QMat
+	if d.quant != nil {
+		// One activation quantization of the memory serves every layer's
+		// cross K/V projection.
+		qm = getQa()
+		tensor.QuantizeRowsInto(qm, mem, d.memR, t.Cfg.Dim)
+	}
 	for li, l := range t.Dec {
-		d.layers[li].crossK = linearRowsFwd(mem, d.memR, l.Cross.WK)
-		d.layers[li].crossV = linearRowsFwd(mem, d.memR, l.Cross.WV)
-		// Pre-size the growing caches to the position bound the caller
-		// must respect, so Step can extend them without reallocating.
-		d.layers[li].selfK = make([]float32, 0, kvCap)
-		d.layers[li].selfV = make([]float32, 0, kvCap)
+		if d.quant != nil {
+			d.layers[li].crossK = make([]float32, d.memR*t.Cfg.Dim)
+			d.layers[li].crossV = make([]float32, d.memR*t.Cfg.Dim)
+			qLinearRowsFwdPre(d.layers[li].crossK, qm, &d.quant.dec[li].cross.wk)
+			qLinearRowsFwdPre(d.layers[li].crossV, qm, &d.quant.dec[li].cross.wv)
+		} else {
+			d.layers[li].crossK = linearRowsFwd(mem, d.memR, l.Cross.WK)
+			d.layers[li].crossV = linearRowsFwd(mem, d.memR, l.Cross.WV)
+		}
+		// selfK/selfV start empty and grow on demand (growKV): typical
+		// decodes emit far fewer than MaxSeq tokens, so pre-sizing to the
+		// MaxSeq·Dim bound wasted ~8× the memory a real decode touches and
+		// made decoder construction the dominant allocation site.
+	}
+	if qm != nil {
+		qaPool.Put(qm)
 	}
 	return d
 }
 
+// Ambiguous reports whether any step so far had a top-2 logit margin
+// under QuantMargin on the quantized path (always false on the float32
+// path); such a decode may disagree with float32 and should be redone at
+// full precision by callers that need exactness.
+func (d *IncrementalDecoder) Ambiguous() bool { return d.ambiguous }
+
 // Clone branches the decoder: the growing self-attention rows are
 // copied, the per-sequence memory projections are shared.
 func (d *IncrementalDecoder) Clone() *IncrementalDecoder {
-	c := &IncrementalDecoder{t: d.t, memR: d.memR, pos: d.pos}
+	c := &IncrementalDecoder{t: d.t, memR: d.memR, pos: d.pos,
+		quant: d.quant, ambiguous: d.ambiguous}
 	c.layers = make([]decLayerCache, len(d.layers))
-	kvCap := d.t.Cfg.MaxSeq * d.t.Cfg.Dim
+	dim := d.t.Cfg.Dim
 	for i := range d.layers {
 		c.layers[i].crossK = d.layers[i].crossK
 		c.layers[i].crossV = d.layers[i].crossV
-		c.layers[i].selfK = append(make([]float32, 0, kvCap), d.layers[i].selfK...)
-		c.layers[i].selfV = append(make([]float32, 0, kvCap), d.layers[i].selfV...)
+		// Copy with one row of headroom so the clone's first Step doesn't
+		// immediately reallocate; beyond that it grows like any decoder.
+		c.layers[i].selfK = cloneKV(d.layers[i].selfK, dim)
+		c.layers[i].selfV = cloneKV(d.layers[i].selfV, dim)
 	}
 	return c
+}
+
+// cloneKV copies a growing K/V cache with headroom for one more row.
+func cloneKV(s []float32, dim int) []float32 {
+	if len(s) == 0 {
+		return nil
+	}
+	return append(make([]float32, 0, len(s)+dim), s...)
+}
+
+// growKV extends a K/V cache to need elements, doubling the backing
+// array when it is full. The amortized growth replaces the old MaxSeq·Dim
+// pre-allocation; values are unaffected, so determinism is too.
+func growKV(s []float32, need int) []float32 {
+	if cap(s) >= need {
+		return s[:need]
+	}
+	ns := make([]float32, need, 2*need)
+	copy(ns, s)
+	return ns
 }
 
 // Pos returns how many tokens have been fed so far (the position the
 // next token will occupy).
 func (d *IncrementalDecoder) Pos() int { return d.pos }
 
-// scratch returns the decoder's reusable buffers, allocating on first use.
+// scratch returns the decoder's reusable buffers, taking a recycled set
+// from the transformer's pool (all decoders over one transformer share
+// buffer shapes) or allocating on first use. Step overwrites every
+// region it reads, so a dirty pooled scratch cannot affect outputs.
 func (d *IncrementalDecoder) scratch() *decScratch {
 	if d.scr == nil {
 		t := d.t
+		if s, ok := t.scrPool.Get().(*decScratch); ok {
+			d.scr = s
+			return s
+		}
 		dim := t.Cfg.Dim
 		ffw := dim
 		for _, l := range t.Dec {
@@ -120,9 +193,22 @@ func (d *IncrementalDecoder) scratch() *decScratch {
 			f:      make([]float32, ffw),
 			scores: make([]float32, t.Cfg.MaxSeq),
 			logits: make([]float32, t.Cfg.Vocab),
+			qrow:   make([]int8, ffw),
 		}
 	}
 	return d.scr
+}
+
+// Release returns the decoder's scratch buffers to the transformer's
+// pool. Call it when the decode is finished and the last Step's returned
+// logits row is dead; the decoder itself stays valid (a later Step just
+// draws fresh scratch), but typical callers release exactly once, after
+// the final Step.
+func (d *IncrementalDecoder) Release() {
+	if d.scr != nil {
+		d.t.scrPool.Put(d.scr)
+		d.scr = nil
+	}
 }
 
 // Step feeds one token at the next position and returns the
@@ -135,6 +221,10 @@ func (d *IncrementalDecoder) Step(token int) []float32 {
 	dim := t.Cfg.Dim
 	pos := d.pos
 	s := d.scratch()
+	smax, gelu := softmaxRow, geluRow
+	if d.quant != nil {
+		smax, gelu = qSoftmaxRow, qGeluRow
+	}
 
 	// Token embedding + learned positional embedding (panics past MaxSeq
 	// exactly like the reference path's PosEnc lookup would).
@@ -148,28 +238,54 @@ func (d *IncrementalDecoder) Step(token int) []float32 {
 	h := s.h
 	for li, l := range t.Dec {
 		lc := &d.layers[li]
+		var qd *qDecoderLayer
+		if d.quant != nil {
+			qd = &d.quant.dec[li]
+		}
 
 		// Self attention: project the new row, extend the cache, attend
 		// over every cached position. The newest row is never masked, so
 		// the causal softmax degenerates to a plain one.
 		layerNormRow(h, x, l.N1.Gain.Data, l.N1.Bias.Data)
-		linearRowFwdInto(s.q, h, l.Self.WQ)
 		n := len(lc.selfK)
-		lc.selfK = lc.selfK[:n+dim]
-		linearRowFwdInto(lc.selfK[n:], h, l.Self.WK)
-		lc.selfV = lc.selfV[:n+dim]
-		linearRowFwdInto(lc.selfV[n:], h, l.Self.WV)
-		attendRowInto(s.attn, s.scores, s.q, lc.selfK, lc.selfV, pos+1, l.Self)
-		linearRowFwdInto(s.o, s.attn, l.Self.WO)
+		lc.selfK = growKV(lc.selfK, n+dim)
+		lc.selfV = growKV(lc.selfV, n+dim)
+		if qd != nil {
+			// One quantization of h serves all three projections.
+			qa := s.qrow[:dim]
+			var sa float32
+			tensor.QuantizeRowInto(qa, h, &sa)
+			qMulRowPre(s.q, qa, sa, &qd.self.wq)
+			qMulRowPre(lc.selfK[n:], qa, sa, &qd.self.wk)
+			qMulRowPre(lc.selfV[n:], qa, sa, &qd.self.wv)
+		} else {
+			linearRowFwdInto(s.q, h, l.Self.WQ)
+			linearRowFwdInto(lc.selfK[n:], h, l.Self.WK)
+			linearRowFwdInto(lc.selfV[n:], h, l.Self.WV)
+		}
+		attendRowInto(s.attn, s.scores, s.q, lc.selfK, lc.selfV, pos+1, l.Self, smax)
+		if qd != nil {
+			qLinearRowFwdInto(s.o, s.attn, s.qrow, &qd.self.wo)
+		} else {
+			linearRowFwdInto(s.o, s.attn, l.Self.WO)
+		}
 		for j := range x {
 			x[j] += s.o[j]
 		}
 
 		// Cross attention over the cached memory projections.
 		layerNormRow(h, x, l.N2.Gain.Data, l.N2.Bias.Data)
-		linearRowFwdInto(s.q, h, l.Cross.WQ)
-		attendRowInto(s.attn, s.scores, s.q, lc.crossK, lc.crossV, d.memR, l.Cross)
-		linearRowFwdInto(s.o, s.attn, l.Cross.WO)
+		if qd != nil {
+			qLinearRowFwdInto(s.q, h, s.qrow, &qd.cross.wq)
+		} else {
+			linearRowFwdInto(s.q, h, l.Cross.WQ)
+		}
+		attendRowInto(s.attn, s.scores, s.q, lc.crossK, lc.crossV, d.memR, l.Cross, smax)
+		if qd != nil {
+			qLinearRowFwdInto(s.o, s.attn, s.qrow, &qd.cross.wo)
+		} else {
+			linearRowFwdInto(s.o, s.attn, l.Cross.WO)
+		}
 		for j := range x {
 			x[j] += s.o[j]
 		}
@@ -177,9 +293,15 @@ func (d *IncrementalDecoder) Step(token int) []float32 {
 		// Position-wise feed-forward.
 		layerNormRow(h, x, l.N3.Gain.Data, l.N3.Bias.Data)
 		f := s.f[:l.FF.In.W.C]
-		linearRowFwdInto(f, h, l.FF.In)
-		geluRow(f)
-		linearRowFwdInto(s.o, f, l.FF.Out)
+		if qd != nil {
+			qLinearRowFwdInto(f, h, s.qrow, &qd.ffIn)
+			gelu(f)
+			qLinearRowFwdInto(s.o, f, s.qrow, &qd.ffOut)
+		} else {
+			linearRowFwdInto(f, h, l.FF.In)
+			gelu(f)
+			linearRowFwdInto(s.o, f, l.FF.Out)
+		}
 		for j := range x {
 			x[j] += s.o[j]
 		}
@@ -187,17 +309,51 @@ func (d *IncrementalDecoder) Step(token int) []float32 {
 
 	layerNormRow(s.st, x, t.NormD.Gain.Data, t.NormD.Bias.Data)
 
-	// Tied output projection against the cached Dim×Vocab transpose:
-	// logits[j] = Σ_p st[p]·Embed[j][p], accumulated in the same p-outer
-	// order MatMul(states, Transpose(Embed)) uses, but reading the
-	// embedding row-contiguously.
+	// Tied output projection. Float32 path: against the cached Dim×Vocab
+	// transpose, logits[j] = Σ_p st[p]·Embed[j][p], accumulated in the
+	// same p-outer order MatMul(states, Transpose(Embed)) uses but
+	// reading the embedding row-contiguously. Quantized path: the
+	// Vocab×Dim embedding is already the NT operand, so the state row is
+	// quantized once and dotted against each int8 embedding row; a thin
+	// top-2 margin afterwards latches the ambiguity flag.
 	logits := s.logits
-	for j := range logits {
-		logits[j] = 0
+	if d.quant != nil {
+		qa := s.qrow[:dim]
+		var sa float32
+		tensor.QuantizeRowInto(qa, s.st, &sa)
+		for j := range logits {
+			logits[j] = 0
+		}
+		tensor.QMulRowInto(logits, qa, sa, d.quant.embed)
+		if top2Margin(logits) < QuantMargin {
+			d.ambiguous = true
+		}
+	} else {
+		for j := range logits {
+			logits[j] = 0
+		}
+		mulRowsInto(logits, s.st, t.embedT(), dim, t.Cfg.Vocab, t.Cfg.Vocab, 0)
 	}
-	mulRowsInto(logits, s.st, t.embedT(), dim, t.Cfg.Vocab, t.Cfg.Vocab, 0)
 	d.pos++
 	return logits
+}
+
+// top2Margin returns the gap between the largest and second-largest
+// logit (0 when the row has fewer than two entries).
+func top2Margin(row []float32) float32 {
+	if len(row) < 2 {
+		return 0
+	}
+	best := float32(math.Inf(-1))
+	second := best
+	for _, v := range row {
+		if v > best {
+			second, best = best, v
+		} else if v > second {
+			second = v
+		}
+	}
+	return best - second
 }
 
 // forwardEncode mirrors Encode without recording a tape: same kernels,
@@ -272,6 +428,17 @@ func linearRowFwdInto(out, x []float32, l *Linear) {
 // linearRowsFwd computes x·W + b for n rows of a flat row-major slice.
 func linearRowsFwd(x []float32, n int, l *Linear) []float32 {
 	out := make([]float32, n*l.W.C)
+	linearRowsFwdInto(out, x, n, l)
+	return out
+}
+
+// linearRowsFwdInto is linearRowsFwd into caller-provided out (len
+// n·W.C, overwritten) — the batched encoder reuses pooled buffers
+// through it.
+func linearRowsFwdInto(out, x []float32, n int, l *Linear) {
+	for i := range out {
+		out[i] = 0
+	}
 	matmul(out, x, l.W.Data, n, l.W.R, l.W.C)
 	for i := 0; i < n; i++ {
 		row := out[i*l.W.C : (i+1)*l.W.C]
@@ -279,15 +446,15 @@ func linearRowsFwd(x []float32, n int, l *Linear) []float32 {
 			row[j] += l.B.Data[j]
 		}
 	}
-	return out
 }
 
 // attendRowInto runs multi-head attention for a single query row over
 // ctxLen cached full-width K/V rows into out: per head, scores → scale →
 // softmax → weighted sum, written into the head's slice of the output
 // (the HConcat layout). scores is caller-provided scratch of at least
-// ctxLen elements.
-func attendRowInto(out, scores, q, k, v []float32, ctxLen int, m *MHA) {
+// ctxLen elements. smax is the softmax to apply per head — softmaxRow on
+// the exact float32 path, qSoftmaxRow on the quantized one.
+func attendRowInto(out, scores, q, k, v []float32, ctxLen int, m *MHA, smax func([]float32)) {
 	dh := m.D / m.Heads
 	scale := float32(1 / math.Sqrt(float64(dh)))
 	for j := range out {
@@ -303,7 +470,7 @@ func attendRowInto(out, scores, q, k, v []float32, ctxLen int, m *MHA) {
 		for j := range scores {
 			scores[j] *= scale
 		}
-		softmaxRow(scores)
+		smax(scores)
 		mulRowsInto(out[off:off+dh], scores, v, ctxLen, dh, m.D, off)
 	}
 }
@@ -314,10 +481,23 @@ func attendRows(q, kv []float32, n, ctxLen int, m *MHA) []float32 {
 	qp := linearRowsFwd(q, n, m.WQ)
 	kp := linearRowsFwd(kv, ctxLen, m.WK)
 	vp := linearRowsFwd(kv, ctxLen, m.WV)
+	out := make([]float32, n*m.D)
+	attendRowsPre(out, qp, kp, vp, make([]float32, ctxLen), n, ctxLen, m, softmaxRow)
+	return out
+}
+
+// attendRowsPre is the attention core after the Q/K/V projections:
+// per-head scaled dot-product over already-projected rows, written into
+// out (which must start zeroed). Factored out so the batched inference
+// encoder can project all samples in one kernel call and attend each
+// sample over its own row range — the per-row math, and therefore the
+// floats, are identical either way. scores is caller scratch of at least
+// ctxLen elements. smax selects the per-head softmax (exact softmaxRow
+// vs the quantized path's qSoftmaxRow).
+func attendRowsPre(out, qp, kp, vp, scores []float32, n, ctxLen int, m *MHA, smax func([]float32)) {
 	dh := m.D / m.Heads
 	scale := float32(1 / math.Sqrt(float64(dh)))
-	out := make([]float32, n*m.D)
-	scores := make([]float32, ctxLen)
+	scores = scores[:ctxLen]
 	for h := 0; h < m.Heads; h++ {
 		off := h * dh
 		for i := 0; i < n; i++ {
@@ -328,11 +508,10 @@ func attendRows(q, kv []float32, n, ctxLen int, m *MHA) []float32 {
 			for j := range scores {
 				scores[j] *= scale
 			}
-			softmaxRow(scores)
+			smax(scores)
 			mulRowsInto(out[i*m.D+off:i*m.D+off+dh], scores, vp, ctxLen, dh, m.D, off)
 		}
 	}
-	return out
 }
 
 // layerNormRow mirrors LayerNorm's forward pass for one row.
@@ -392,4 +571,56 @@ func geluRow(xs []float32) {
 		x := float64(v)
 		xs[i] = float32(0.5 * x * (1 + math.Tanh(c0*(x+0.044715*x*x*x))))
 	}
+}
+
+// --- quantized-path approximations. The int8 decode is already inexact
+// (guarded by the QuantMargin ambiguity fallback), so its softmax, GELU,
+// and scoring swap the float64 library transcendentals — which dominate
+// single-core decode time — for tensor's float32 polynomials. The exact
+// float32 path above never calls these. ---
+
+// qSoftmaxRow is softmaxRow with FastExp32.
+func qSoftmaxRow(row []float32) {
+	maxv := float32(math.Inf(-1))
+	for _, v := range row {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float32
+	for j, v := range row {
+		e := tensor.FastExp32(v - maxv)
+		row[j] = e
+		sum += e
+	}
+	if sum > 0 {
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// qGeluRow is geluRow with FastTanh32, in float32 throughout.
+func qGeluRow(xs []float32) {
+	const c0 = float32(0.7978845608028654) // sqrt(2/pi)
+	for i, v := range xs {
+		xs[i] = 0.5 * v * (1 + tensor.FastTanh32(c0*(v+0.044715*v*v*v)))
+	}
+}
+
+// qLogProb mirrors logProb with FastExp32 for the full-vocabulary sum —
+// the per-step scoring otherwise costs one float64 Exp per vocab entry.
+func qLogProb(logits []float32, idx int) float64 {
+	maxv := float32(math.Inf(-1))
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range logits {
+		sum += float64(tensor.FastExp32(v - maxv))
+	}
+	return float64(logits[idx]-maxv) - math.Log(sum)
 }

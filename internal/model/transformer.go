@@ -50,6 +50,19 @@ type Transformer struct {
 		once sync.Once
 		data []float32
 	}
+
+	// qv lazily caches the int8 quantized weight view (see quant.go).
+	// Same lifecycle as embT: built once per weight snapshot, dropped at
+	// the training boundary, inference-only.
+	qv struct {
+		once sync.Once
+		view *qView
+	}
+
+	// scrPool recycles incremental-decoder scratch buffers (*decScratch)
+	// across the hundreds of short decodes a backend generation performs;
+	// all decoders over one transformer share buffer shapes.
+	scrPool sync.Pool
 }
 
 // embedT returns the cached Dim×Vocab transpose of Embed, building it on
@@ -180,6 +193,7 @@ func (t *Transformer) Generate(input []int, maxLen int) []int {
 		return out
 	}
 	d := t.NewIncrementalDecoder(input)
+	defer d.Release()
 	last := BOS
 	for len(out) < maxLen && len(out)+1 < t.Cfg.MaxSeq {
 		next := argmax(d.Step(last))
@@ -230,6 +244,7 @@ func (t *Transformer) GenerateScored(input []int, maxLen int) ([]int, float64) {
 		return out, 0
 	}
 	d := t.NewIncrementalDecoder(input)
+	defer d.Release()
 	last := BOS
 	for len(out) < maxLen && len(out)+1 < t.Cfg.MaxSeq {
 		row := d.Step(last)

@@ -12,9 +12,12 @@ import (
 // response so a degraded 200 is never mistaken for a full-fidelity one:
 //
 //  1. pressure >= GreedyAt:     beam search downgrades to greedy decoding.
-//  2. pressure >= TruncateAt:   whole-backend requests are truncated to
+//  2. pressure >= QuantizeAt:   decoding switches to the int8 quantized
+//     weight view, greedy-first (ambiguous rows still re-decode float32,
+//     so results stay full-accuracy — the rung trades only latency).
+//  3. pressure >= TruncateAt:   whole-backend requests are truncated to
 //     TruncateFunctions functions.
-//  3. pressure >= SkipRepairAt: verify-enabled requests keep verification
+//  4. pressure >= SkipRepairAt: verify-enabled requests keep verification
 //     but skip the CEGAR repair rounds (the most expensive re-decode work).
 //
 // Pressure is Scheduler.Pressure(): (waiting+running)/(queue+workers).
@@ -22,6 +25,9 @@ type DegradePolicy struct {
 	// GreedyAt is the pressure at which beam→greedy kicks in (0 disables
 	// the rung; 1 effectively never fires).
 	GreedyAt float64
+	// QuantizeAt is the pressure at which requests are forced onto the
+	// quantized greedy decode path (0 disables the rung).
+	QuantizeAt float64
 	// TruncateAt is the pressure at which MaxFunctions truncation kicks
 	// in (0 disables the rung).
 	TruncateAt float64
@@ -38,24 +44,39 @@ type DegradePolicy struct {
 // start cheapening at half load, start truncating (and dropping repair
 // rounds) at three quarters.
 func DefaultDegradePolicy() DegradePolicy {
-	return DegradePolicy{GreedyAt: 0.5, TruncateAt: 0.75, SkipRepairAt: 0.75, TruncateFunctions: 16}
+	return DegradePolicy{GreedyAt: 0.5, QuantizeAt: 0.5, TruncateAt: 0.75, SkipRepairAt: 0.75, TruncateFunctions: 16}
 }
 
 // Apply folds the ladder into a request's GenOptions at the given
 // pressure, returning the adjusted options and the human-readable reasons
 // for each rung that fired (empty = full fidelity).
-func (d DegradePolicy) Apply(opt core.GenOptions, beamWidth int, pressure float64) (core.GenOptions, []string) {
-	var reasons []string
+//
+// The MaxFunctions rung is special: lowering the cap only degrades the
+// response when the cap actually binds (the backend comes back
+// Truncated), which is unknowable at admission. Its reason is therefore
+// returned separately as truncReason, and the response layer appends it
+// to the degrade reasons only on a Truncated backend — a scoped request
+// smaller than the cap stays a full-fidelity 200.
+func (d DegradePolicy) Apply(opt core.GenOptions, beamWidth int, pressure float64) (_ core.GenOptions, reasons []string, truncReason string) {
 	if d.GreedyAt > 0 && pressure >= d.GreedyAt && beamWidth > 1 && !opt.Greedy {
 		opt.Greedy = true
 		reasons = append(reasons,
 			fmt.Sprintf("beam(%d)->greedy: pressure %.2f >= %.2f", beamWidth, pressure, d.GreedyAt))
 	}
+	if d.QuantizeAt > 0 && pressure >= d.QuantizeAt && !opt.Quantize {
+		// Quantized serving is greedy-first by definition: the rung exists
+		// to shed decode latency, and ambiguous rows already re-decode at
+		// full precision, so accuracy is unchanged either way.
+		opt.Quantize = true
+		opt.Greedy = true
+		reasons = append(reasons,
+			fmt.Sprintf("int8 quantized greedy decode: pressure %.2f >= %.2f", pressure, d.QuantizeAt))
+	}
 	if d.TruncateAt > 0 && pressure >= d.TruncateAt && d.TruncateFunctions > 0 {
 		if opt.MaxFunctions == 0 || opt.MaxFunctions > d.TruncateFunctions {
 			opt.MaxFunctions = d.TruncateFunctions
-			reasons = append(reasons,
-				fmt.Sprintf("maxFunctions=%d: pressure %.2f >= %.2f", d.TruncateFunctions, pressure, d.TruncateAt))
+			truncReason = fmt.Sprintf("maxFunctions=%d: pressure %.2f >= %.2f",
+				d.TruncateFunctions, pressure, d.TruncateAt)
 		}
 	}
 	if d.SkipRepairAt > 0 && pressure >= d.SkipRepairAt && opt.Verify && !opt.SkipRepair {
@@ -63,5 +84,5 @@ func (d DegradePolicy) Apply(opt core.GenOptions, beamWidth int, pressure float6
 		reasons = append(reasons,
 			fmt.Sprintf("repair rounds skipped: pressure %.2f >= %.2f", pressure, d.SkipRepairAt))
 	}
-	return opt, reasons
+	return opt, reasons, truncReason
 }

@@ -43,6 +43,14 @@ type GenerateRequest struct {
 	// pressure >= the policy's SkipRepairAt, repair rounds are skipped
 	// (verification still runs) and the degradation is marked.
 	Verify bool `json:"verify,omitempty"`
+	// Quantize opts this request into the int8 quantized decode path
+	// (identical output — ambiguous rows re-decode float32 — at lower
+	// latency). The degrade ladder may force it under pressure.
+	Quantize bool `json:"quantize,omitempty"`
+	// BeamEscalate asks for greedy-first decoding on beam-configured
+	// snapshots: rows re-decode with the full beam only when their leading
+	// confidence falls below the accuracy threshold.
+	BeamEscalate bool `json:"beam_escalate,omitempty"`
 }
 
 // StatementJSON is one generated statement with its confidence scores.
@@ -158,7 +166,8 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown target %q", req.Target), 0)
 		return
 	}
-	opt := core.GenOptions{MaxFunctions: req.MaxFunctions, Verify: req.Verify}
+	opt := core.GenOptions{MaxFunctions: req.MaxFunctions, Verify: req.Verify,
+		Quantize: req.Quantize, BeamEscalate: req.BeamEscalate}
 	if req.Module != "" {
 		if !moduleListed(moduleNames(), req.Module) {
 			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown module %q", req.Module), 0)
@@ -200,7 +209,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	// Degrade ladder, applied at admission pressure.
 	pressure := s.sched.Pressure()
 	beamWidth := s.holder.Current().Pipeline.Cfg.BeamWidth
-	opt, reasons := s.cfg.Policy.Apply(opt, beamWidth, pressure)
+	opt, reasons, truncReason := s.cfg.Policy.Apply(opt, beamWidth, pressure)
 
 	res := &genResult{}
 	ran, err := s.sched.Do(ctx, func(jctx context.Context) {
@@ -263,7 +272,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp := backendResponse(req.Target, res.backend, res.snapshot, reasons)
+	resp := backendResponse(req.Target, res.backend, res.snapshot, reasons, truncReason)
 	s.finishGenerate(w, resp, start)
 }
 
@@ -278,7 +287,10 @@ func (s *Server) finishGenerate(w http.ResponseWriter, resp *GenerateResponse, s
 }
 
 // backendResponse converts a generated backend into the wire form.
-func backendResponse(target string, b *generate.Backend, snapID string, reasons []string) *GenerateResponse {
+// truncReason is the degrade ladder's MaxFunctions rationale; it joins
+// the degrade reasons only when the cap actually bound (b.Truncated) —
+// lowering a cap a scoped request never reached degrades nothing.
+func backendResponse(target string, b *generate.Backend, snapID string, reasons []string, truncReason string) *GenerateResponse {
 	resp := &GenerateResponse{
 		Target:         target,
 		Snapshot:       snapID,
@@ -320,6 +332,9 @@ func backendResponse(target string, b *generate.Backend, snapID string, reasons 
 		resp.Functions = append(resp.Functions, fj)
 	}
 	if b.Truncated {
+		if truncReason != "" {
+			resp.DegradeReasons = append(resp.DegradeReasons, truncReason)
+		}
 		resp.DegradeReasons = append(resp.DegradeReasons, "function list truncated by maxFunctions")
 	}
 	if b.Recovered > 0 {

@@ -73,6 +73,11 @@ type Scheduler struct {
 	// avgJobBits holds a float64 EWMA of job durations (seconds) for the
 	// Retry-After estimate; updated by workers, read at rejection time.
 	avgJobBits atomic.Uint64
+	// lastDoneNS is the UnixNano stamp of the most recent job completion.
+	// RetryAfter decays the EWMA by the time elapsed since it: an average
+	// learned from heavy jobs an idle period ago must not keep shedding
+	// clients with stale multi-second backoffs.
+	lastDoneNS atomic.Int64
 
 	m schedMetrics
 }
@@ -142,10 +147,16 @@ func (s *Scheduler) recordJobSeconds(sec float64) {
 			newAvg = 0.8*oldAvg + 0.2*sec
 		}
 		if s.avgJobBits.CompareAndSwap(oldBits, math.Float64bits(newAvg)) {
+			s.lastDoneNS.Store(time.Now().UnixNano())
 			return
 		}
 	}
 }
+
+// retryDecayHalfLife halves the EWMA's weight in the Retry-After estimate
+// for every 30 idle seconds since the last completion, so a burst of
+// heavy jobs stops inflating backoffs within a few minutes of quiet.
+const retryDecayHalfLife = 30 * time.Second
 
 // Pressure reports the load fraction the degrade ladder keys off:
 // (waiting + running) / (queue capacity + workers), clamped to [0, 1].
@@ -156,14 +167,28 @@ func (s *Scheduler) Pressure() float64 {
 
 // RetryAfter estimates, in whole seconds (>= 1), how long a shed client
 // should wait before retrying: the current backlog divided across the
-// worker pool at the observed average job duration.
+// worker pool at the observed average job duration. An empty backlog
+// answers the 1 s floor outright — with nothing queued and nothing
+// running, the historical average is irrelevant — and a non-empty one
+// decays the average by the idle time since the last completion, so an
+// EWMA learned from heavy jobs long ago cannot pin clients to stale
+// multi-second backoffs.
 func (s *Scheduler) RetryAfter() int {
+	backlog := float64(s.waiting.Load() + s.inflight.Load())
+	if backlog == 0 {
+		return 1
+	}
 	avg := math.Float64frombits(s.avgJobBits.Load())
 	if avg <= 0 {
 		return 1
 	}
-	backlog := float64(s.waiting.Load()+s.inflight.Load()) + 1
-	sec := int(math.Ceil(backlog * avg / float64(s.workers)))
+	if last := s.lastDoneNS.Load(); last > 0 {
+		idle := time.Since(time.Unix(0, last))
+		if idle > 0 {
+			avg *= math.Pow(0.5, idle.Seconds()/retryDecayHalfLife.Seconds())
+		}
+	}
+	sec := int(math.Ceil((backlog + 1) * avg / float64(s.workers)))
 	if sec < 1 {
 		return 1
 	}

@@ -333,32 +333,44 @@ func TestSnapshotHealthCheck(t *testing.T) {
 func TestDegradePolicyLadder(t *testing.T) {
 	d := DefaultDegradePolicy()
 
-	opt, reasons := d.Apply(core.GenOptions{}, 4, 0.2)
-	if opt.Greedy || opt.MaxFunctions != 0 || len(reasons) != 0 {
-		t.Errorf("low pressure degraded: opt=%+v reasons=%v", opt, reasons)
+	opt, reasons, trunc := d.Apply(core.GenOptions{}, 4, 0.2)
+	if opt.Greedy || opt.Quantize || opt.MaxFunctions != 0 || len(reasons) != 0 || trunc != "" {
+		t.Errorf("low pressure degraded: opt=%+v reasons=%v trunc=%q", opt, reasons, trunc)
 	}
 
-	opt, reasons = d.Apply(core.GenOptions{}, 4, 0.6)
-	if !opt.Greedy || opt.MaxFunctions != 0 || len(reasons) != 1 {
-		t.Errorf("mid pressure: opt=%+v reasons=%v, want greedy rung only", opt, reasons)
+	opt, reasons, trunc = d.Apply(core.GenOptions{}, 4, 0.6)
+	if !opt.Greedy || !opt.Quantize || opt.MaxFunctions != 0 || len(reasons) != 2 || trunc != "" {
+		t.Errorf("mid pressure: opt=%+v reasons=%v trunc=%q, want greedy+quantize rungs only",
+			opt, reasons, trunc)
 	}
 
-	opt, reasons = d.Apply(core.GenOptions{}, 4, 0.9)
-	if !opt.Greedy || opt.MaxFunctions != d.TruncateFunctions || len(reasons) != 2 {
-		t.Errorf("high pressure: opt=%+v reasons=%v, want both rungs", opt, reasons)
+	opt, reasons, trunc = d.Apply(core.GenOptions{}, 4, 0.9)
+	if !opt.Greedy || !opt.Quantize || opt.MaxFunctions != d.TruncateFunctions ||
+		len(reasons) != 2 || trunc == "" {
+		t.Errorf("high pressure: opt=%+v reasons=%v trunc=%q, want all rungs", opt, reasons, trunc)
 	}
 
-	// Beam width 1 has nothing to downgrade; a request already below the
-	// truncation cap keeps its own tighter cap.
-	opt, reasons = d.Apply(core.GenOptions{MaxFunctions: 3}, 1, 0.9)
-	if opt.Greedy || opt.MaxFunctions != 3 || len(reasons) != 0 {
-		t.Errorf("greedy+tight request degraded: opt=%+v reasons=%v", opt, reasons)
+	// The truncation rationale is returned out of band: it must only reach
+	// the degrade reasons when the backend actually comes back Truncated.
+	for _, r := range reasons {
+		if strings.Contains(r, "maxFunctions") {
+			t.Errorf("truncation reason %q leaked into the unconditional reasons", r)
+		}
 	}
 
-	// The zero policy disables both rungs.
-	opt, reasons = DegradePolicy{}.Apply(core.GenOptions{}, 4, 1.0)
-	if opt.Greedy || opt.MaxFunctions != 0 || len(reasons) != 0 {
-		t.Errorf("zero policy degraded: opt=%+v reasons=%v", opt, reasons)
+	// Beam width 1 has no beam to downgrade, and a request already below
+	// the truncation cap keeps its own tighter cap; the quantize rung
+	// (which implies greedy) still fires.
+	opt, reasons, trunc = d.Apply(core.GenOptions{MaxFunctions: 3}, 1, 0.9)
+	if !opt.Quantize || !opt.Greedy || opt.MaxFunctions != 3 || len(reasons) != 1 || trunc != "" {
+		t.Errorf("tight request: opt=%+v reasons=%v trunc=%q, want quantize rung only",
+			opt, reasons, trunc)
+	}
+
+	// The zero policy disables every rung.
+	opt, reasons, trunc = DegradePolicy{}.Apply(core.GenOptions{}, 4, 1.0)
+	if opt.Greedy || opt.Quantize || opt.MaxFunctions != 0 || len(reasons) != 0 || trunc != "" {
+		t.Errorf("zero policy degraded: opt=%+v reasons=%v trunc=%q", opt, reasons, trunc)
 	}
 }
 

@@ -14,6 +14,7 @@ package template
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"vega/internal/cpp"
 	"vega/internal/gumtree"
@@ -93,6 +94,23 @@ type FunctionTemplate struct {
 	Targets []string
 	Rows    []Row
 	NumVars int
+
+	// vals memoizes Values results: the per-(row, target) LCS alignment
+	// is deterministic once the template is built, and generation asks
+	// for the same rows once per placeholder per pass. Guarded by valsMu;
+	// unexported, so snapshot encoding ignores it.
+	valsMu sync.Mutex
+	vals   map[valsKey]valsEntry
+}
+
+type valsKey struct {
+	row    int
+	target string
+}
+
+type valsEntry struct {
+	vals    map[int]string
+	present bool
 }
 
 // Build constructs the function template for a group of implementations.
@@ -275,8 +293,27 @@ func (ft *FunctionTemplate) renumber() {
 
 // Values extracts a target's placeholder values for one row: a map from
 // placeholder id to the target's token span (space-joined when longer than
-// one token). present is false when the target lacks the statement.
+// one token). present is false when the target lacks the statement. The
+// returned map is memoized and shared — treat it as read-only.
 func (ft *FunctionTemplate) Values(rowIdx int, target string) (vals map[int]string, present bool) {
+	key := valsKey{row: rowIdx, target: target}
+	ft.valsMu.Lock()
+	if e, ok := ft.vals[key]; ok {
+		ft.valsMu.Unlock()
+		return e.vals, e.present
+	}
+	ft.valsMu.Unlock()
+	vals, present = ft.valuesUncached(rowIdx, target)
+	ft.valsMu.Lock()
+	if ft.vals == nil {
+		ft.vals = make(map[valsKey]valsEntry)
+	}
+	ft.vals[key] = valsEntry{vals: vals, present: present}
+	ft.valsMu.Unlock()
+	return vals, present
+}
+
+func (ft *FunctionTemplate) valuesUncached(rowIdx int, target string) (vals map[int]string, present bool) {
 	row := &ft.Rows[rowIdx]
 	toks, ok := row.PerTarget[target]
 	if !ok {

@@ -150,13 +150,27 @@ func matmulRows(out, a, b []float32, lo, hi, k, c int) {
 // element copies against the r·k·c multiply-adds it unlocks.
 var ntPool sync.Pool
 
+// scratchCap rounds a request up to the next power of two (min 256), so
+// nearby shapes share one size class and a pooled buffer keeps serving
+// after small size drifts.
+func scratchCap(n int) int {
+	c := 256
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
 func getScratch(n int) []float32 {
 	if v := ntPool.Get(); v != nil {
 		if s := v.([]float32); cap(s) >= n {
 			return s[:n]
 		}
+		// Undersized for this call, still useful for the next small
+		// one: return it instead of letting it fall to the collector.
+		ntPool.Put(v)
 	}
-	return make([]float32, n)
+	return make([]float32, n, scratchCap(n))
 }
 
 // MatMulNT computes dst += a·bᵀ with a r×k, b c×k, dst r×c. It

@@ -1,0 +1,15 @@
+//go:build amd64
+
+package tensor
+
+// dotInt8AVX2 computes the exact int32 dot product of n int8 elements
+// (n a multiple of 16; the caller handles leftovers). Sign-extends 16
+// lanes to int16 and pairwise multiply-adds into int32 accumulators —
+// integer arithmetic throughout, so the sum is exact and identical to
+// the scalar loop regardless of lane order.
+func dotInt8AVX2(a, b *int8, n int) int32
+
+// dotInt8RowsAVX2 computes acc[j] = dot(a[:n], b[j*stride:][:n]) for
+// j < rows, n a multiple of 16 and ≥ 16. Four rows per outer iteration
+// share each sign-extended chunk of a; see quant_amd64.s.
+func dotInt8RowsAVX2(a, b *int8, acc *int32, rows, stride, n int)

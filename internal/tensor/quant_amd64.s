@@ -1,0 +1,128 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dotInt8AVX2(a, b *int8, n int) int32
+// Exact int32 dot product, 16 int8 lanes per iteration: sign-extend to
+// int16 (VPMOVSXBW), pairwise multiply-add into int32 (VPMADDWD — each
+// product fits int16·int16 → int32, and the pairwise add of two such
+// products cannot overflow), accumulate with VPADDD, then reduce the 8
+// int32 lanes horizontally. Integer ops only: the result equals the
+// scalar loop's for any lane grouping.
+TEXT ·dotInt8AVX2(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VPXOR Y0, Y0, Y0
+dotloop:
+	CMPQ CX, $16
+	JLT  dotdone
+	VPMOVSXBW (SI), Y1
+	VPMOVSXBW (DI), Y2
+	VPMADDWD Y1, Y2, Y1
+	VPADDD Y1, Y0, Y0
+	ADDQ $16, SI
+	ADDQ $16, DI
+	SUBQ $16, CX
+	JMP  dotloop
+dotdone:
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD X1, X0, X0
+	VPSHUFD $0xEE, X0, X1
+	VPADDD X1, X0, X0
+	VPSHUFD $0x55, X0, X1
+	VPADDD X1, X0, X0
+	VMOVD X0, AX
+	MOVL AX, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func dotInt8RowsAVX2(a, b *int8, acc *int32, rows, stride, n int)
+// acc[j] = exact int32 dot of a[:n] and b[j*stride:][:n] for j < rows,
+// n a multiple of 16 and ≥ 16 (the Go wrapper handles leftovers). Rows
+// are processed four at a time so each sign-extended 16-lane chunk of a
+// is loaded once and multiplied against four weight rows — this
+// amortizes the activation loads and the call overhead that made the
+// one-dot-per-call kernel slower than float32 at small depths. Integer
+// ops only; the sums equal the scalar loop's exactly.
+TEXT ·dotInt8RowsAVX2(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ acc+16(FP), DX
+	MOVQ rows+24(FP), CX
+	MOVQ stride+32(FP), R8
+	MOVQ n+40(FP), R9
+
+block4:
+	CMPQ CX, $4
+	JLT  rowtail
+	LEAQ (DI)(R8*1), R10
+	LEAQ (DI)(R8*2), R11
+	LEAQ (R10)(R8*2), R12
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	XORQ BX, BX
+k4loop:
+	VPMOVSXBW (SI)(BX*1), Y1
+	VPMOVSXBW (DI)(BX*1), Y6
+	VPMADDWD Y1, Y6, Y6
+	VPADDD Y6, Y2, Y2
+	VPMOVSXBW (R10)(BX*1), Y7
+	VPMADDWD Y1, Y7, Y7
+	VPADDD Y7, Y3, Y3
+	VPMOVSXBW (R11)(BX*1), Y6
+	VPMADDWD Y1, Y6, Y6
+	VPADDD Y6, Y4, Y4
+	VPMOVSXBW (R12)(BX*1), Y7
+	VPMADDWD Y1, Y7, Y7
+	VPADDD Y7, Y5, Y5
+	ADDQ $16, BX
+	CMPQ BX, R9
+	JLT  k4loop
+	// Horizontal-reduce the four row accumulators. VPHADDD pairs:
+	// hadd(Y2,Y3) interleaves partial sums of rows 0 and 1 per 128-bit
+	// half; a second hadd with hadd(Y4,Y5) yields, per half, four int32s
+	// [r0 r1 r2 r3] of that half's partial sums. Adding the two halves
+	// gives the final four dots in output order.
+	VPHADDD Y3, Y2, Y2
+	VPHADDD Y5, Y4, Y4
+	VPHADDD Y4, Y2, Y2
+	VEXTRACTI128 $1, Y2, X1
+	VPADDD X1, X2, X2
+	VMOVDQU X2, (DX)
+	ADDQ $16, DX
+	LEAQ (DI)(R8*4), DI
+	SUBQ $4, CX
+	JMP  block4
+
+rowtail:
+	CMPQ CX, $0
+	JE   done
+	VPXOR Y2, Y2, Y2
+	XORQ BX, BX
+k1loop:
+	VPMOVSXBW (SI)(BX*1), Y1
+	VPMOVSXBW (DI)(BX*1), Y6
+	VPMADDWD Y1, Y6, Y6
+	VPADDD Y6, Y2, Y2
+	ADDQ $16, BX
+	CMPQ BX, R9
+	JLT  k1loop
+	VEXTRACTI128 $1, Y2, X1
+	VPADDD X1, X2, X2
+	VPSHUFD $0xEE, X2, X1
+	VPADDD X1, X2, X2
+	VPSHUFD $0x55, X2, X1
+	VPADDD X1, X2, X2
+	VMOVD X2, AX
+	MOVL AX, (DX)
+	ADDQ $4, DX
+	ADDQ R8, DI
+	DECQ CX
+	JMP  rowtail
+
+done:
+	VZEROUPPER
+	RET
