@@ -6,10 +6,10 @@
 GO ?= go
 
 .PHONY: check lint vet fmt-check test test-race obs-race kernels-race \
-	quant-race stage1-race serve-race repair-race build bench \
+	quant-race stage1-race corpus-race serve-race repair-race build bench \
 	bench-stage1 bench-stage2 bench-stage3 bench-repair
 
-check: lint obs-race kernels-race quant-race stage1-race serve-race repair-race test-race
+check: lint obs-race kernels-race quant-race stage1-race corpus-race serve-race repair-race test-race
 
 build:
 	$(GO) build ./...
@@ -53,13 +53,24 @@ quant-race:
 	$(GO) test -race -run 'Quant|Int8|Scratch' ./internal/tensor
 	$(GO) test -race -run 'Quant|EncodeBatch|DecoderFromMemory' ./internal/model
 
-# Stage 1 concurrency suite under the race detector: the artifact cache
-# round-trips plus the worker-count differential (Stage1Workers 1/3/8
-# must serialize byte-identically), which drives the templatization pool
-# and the shared extractor/source-tree memos from many goroutines.
+# Stage 1 concurrency suite under the race detector: the per-group
+# artifact cache round-trips, the worker-count differential
+# (Stage1Workers 1/3/8 must serialize byte-identically), and the
+# incremental-invalidation differential (one edited target misses
+# exactly one group at every worker count) — all of which drive the
+# templatization pool, the per-group cache, and the shared
+# extractor/source-tree memos from many goroutines.
 stage1-race:
 	$(GO) test -race ./internal/s1cache
-	$(GO) test -race -run 'Stage1Workers|Stage1Cache' ./internal/core
+	$(GO) test -race -run 'Stage1Workers|Stage1Cache|Stage1Incremental|StreamingProvider' ./internal/core
+
+# Corpus-scale race check: the 50+-target extended fleet built and
+# self-evaluated under the race detector (streaming providers memoize
+# reference backends behind a mutex; this drives that path), plus the
+# lazily built function-name index hit from concurrent lookups.
+corpus-race:
+	$(GO) test -race -run 'ExtendedFleet|FamilyTargets' ./internal/eval
+	$(GO) test -race -run 'FuncByName' ./internal/corpus
 
 # Serving-layer race suite: the bounded scheduler, snapshot refcount
 # swap, and HTTP handlers driven concurrently — including the soak test
@@ -80,8 +91,11 @@ repair-race:
 # leaves a machine-readable artifact beside the log.
 bench: bench-stage1 bench-stage2 bench-stage3 bench-repair
 
-# One invocation covers both Stage 1 variants: cold (full templatization
-# + feature mining) and warm (content-addressed cache hit).
+# One invocation covers all three Stage 1 variants: cold (full
+# templatization + feature mining), warm (every group a per-group cache
+# hit), and warm-one-target-dirty (one edited implementation; exactly
+# one group rebuilds). benchjson derives speedup_vs_cold for both warm
+# rows in BENCH_stage1.json.
 bench-stage1:
 	$(GO) test -run '^$$' -bench 'Stage1Templatization' -benchmem -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_stage1.json

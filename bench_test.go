@@ -366,6 +366,39 @@ func BenchmarkStage1TemplatizationWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkStage1TemplatizationWarmOneDirty measures the incremental
+// rebuild: a populated cache where each iteration edits exactly one
+// target's implementation of one function, so one group misses and
+// rebuilds while every other group hits. The per-iteration edit is
+// distinct (StackAlign varies), so later iterations cannot silently
+// degenerate into full warm hits. Sublinear vs the cold row is the
+// tentpole's acceptance bar.
+func BenchmarkStage1TemplatizationWarmOneDirty(b *testing.B) {
+	c, err := BuildCorpus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, ok := corpus.FuncByName("getStackAlignment")
+	if !ok {
+		b.Fatal("no getStackAlignment")
+	}
+	spec := corpus.FindTarget("ARM")
+	cfg := DefaultConfig()
+	cfg.Stage1Cache = b.TempDir()
+	if _, err := NewStreamingPipeline(c, cfg); err != nil { // populate outside the timer
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		edited := *spec
+		edited.StackAlign = 64 + i
+		pr := &corpus.Override{Provider: c, FuncName: fn.Name, Target: "ARM", Source: fn.Gen(&edited)}
+		if _, err := NewStreamingPipeline(pr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkModelTrainingEpoch measures one fine-tuning epoch.
 func BenchmarkModelTrainingEpoch(b *testing.B) {
 	f := sharedFixture(b)

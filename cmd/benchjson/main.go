@@ -35,9 +35,11 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)
 
 // deriveSpeedups annotates paired variants (-cpu suffixes stripped):
 //
-//   - "X" + "XWarm": the warm variant gains speedup_vs_cold, so the
+//   - "X" + "XWarm…": any warm variant ("XWarm", "XWarmOneDirty", …)
+//     gains speedup_vs_cold against the name before "Warm", so the
 //     cold/warm ratio is recorded in the artifact itself (e.g.
-//     BenchmarkStage1Templatization vs its cache-hit variant).
+//     BenchmarkStage1Templatization vs its cache-hit and
+//     incremental-one-target-dirty variants).
 //   - "X" + "XFloat32": the base variant gains speedup_vs_float32 —
 //     here the suffixed run is the full-precision baseline and the bare
 //     name is the quantized fast path (BenchmarkFig7InferenceTime).
@@ -59,8 +61,8 @@ func deriveSpeedups(d *doc) {
 			continue
 		}
 		base, _, _ := strings.Cut(r.Name, "-")
-		if strings.HasSuffix(base, "Warm") {
-			if cold, ok := byBase[strings.TrimSuffix(base, "Warm")]; ok {
+		if at := strings.LastIndex(base, "Warm"); at > 0 {
+			if cold, ok := byBase[base[:at]]; ok {
 				addMetric(r, "speedup_vs_cold", cold/r.NsPerOp)
 			}
 		}

@@ -74,7 +74,8 @@ func main() {
 		genWork   = flag.Int("gen-workers", 0, "decode workers inside one request (0 = NumCPU)")
 		kworkers  = flag.Int("kernel-workers", 0, "goroutines per large matmul kernel (0 = GOMAXPROCS)")
 		s1workers = flag.Int("stage1-workers", 0, "parallel templatization workers (0 = NumCPU)")
-		s1cache   = flag.String("stage1-cache", "", "directory for the content-addressed Stage 1 artifact cache")
+		s1cache   = flag.String("stage1-cache", "", "directory for the per-group content-addressed Stage 1 cache")
+		fleetName = flag.String("targets", "standard", "target fleet: standard, or extended (adds the VLIW, predicated, tensor, and RISC-V-extension families)")
 		health    = flag.String("health-target", "RISCV", "target used for snapshot health-check smoke generations")
 		metrics   = flag.String("metrics", "", "write serve spans and periodic metric snapshots to this JSON-lines file")
 		pprofAt   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -121,11 +122,23 @@ func main() {
 	cfg.Obs = o
 
 	start := time.Now()
-	c, err := corpus.Build()
+	fleet, err := corpus.Fleet(*fleetName)
 	check(err)
+	// The standard fleet stays resident; extended fleets stream so Stage 1
+	// memory stays bounded by one function group at 50+ targets. Either
+	// way every reload shares the same provider (reference backends and
+	// rendered groups are reused across snapshots).
+	var provider corpus.Provider
+	if *fleetName == "standard" || *fleetName == "" {
+		c, err := corpus.Build()
+		check(err)
+		provider = c
+	} else {
+		provider = corpus.NewStream(fleet)
+	}
 
 	buildPipeline := func(bctx context.Context, checkpoint string) (*core.Pipeline, error) {
-		p, err := core.New(c, cfg)
+		p, err := core.NewFromProvider(provider, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -65,7 +65,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel generation workers (0 = NumCPU); output is identical for any count")
 		kworkers  = flag.Int("kernel-workers", 0, "goroutines per large matmul kernel (0 = GOMAXPROCS); results are identical for any count")
 		s1workers = flag.Int("stage1-workers", 0, "parallel templatization workers (0 = NumCPU); output is identical for any count")
-		s1cache   = flag.String("stage1-cache", "", "directory for the content-addressed Stage 1 artifact cache (empty = disabled)")
+		s1cache   = flag.String("stage1-cache", "", "directory for the per-group content-addressed Stage 1 cache (empty = disabled)")
+		fleetName = flag.String("targets", "standard", "target fleet: standard, or extended (adds the VLIW, predicated, tensor, and RISC-V-extension families)")
 		metrics   = flag.String("metrics", "", "write stage spans and a metric snapshot to this JSON-lines file")
 		pprofAt   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		verify    = flag.Bool("verify", false, "execute generated functions against the reference and repair divergences (CEGAR)")
@@ -75,8 +76,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if corpus.FindTarget(*target) == nil {
-		fmt.Fprintf(os.Stderr, "vega: unknown target %q\n", *target)
+	fleet, err := corpus.Fleet(*fleetName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vega:", err)
+		os.Exit(2)
+	}
+	if corpus.FindIn(fleet, *target) == nil {
+		fmt.Fprintf(os.Stderr, "vega: unknown target %q in fleet %q\n", *target, *fleetName)
 		os.Exit(2)
 	}
 
@@ -121,9 +127,19 @@ func main() {
 	}
 
 	start := time.Now()
-	c, err := corpus.Build()
-	check(err)
-	fmt.Printf("corpus: %d backends, LLVM core + description files rendered\n", len(c.Backends))
+	// The standard fleet stays resident (backends parsed once, shared by
+	// every stage); extended fleets stream — function groups are rendered
+	// on demand so memory stays bounded by one group at 50+ targets.
+	var provider corpus.Provider
+	if *fleetName == "standard" || *fleetName == "" {
+		c, err := corpus.Build()
+		check(err)
+		provider = c
+		fmt.Printf("corpus: %d backends, LLVM core + description files rendered\n", len(c.Backends))
+	} else {
+		provider = corpus.NewStream(fleet)
+		fmt.Printf("corpus: streaming %d targets (%s fleet), groups rendered on demand\n", len(fleet), *fleetName)
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
@@ -145,7 +161,7 @@ func main() {
 		}
 	}
 
-	p, err := core.New(c, cfg)
+	p, err := core.NewFromProvider(provider, cfg)
 	check(err)
 	st := p.Stats()
 	fmt.Printf("stage 1: %d function groups templatized, %d properties mined, %d/%d train/verify functions\n",
@@ -209,7 +225,9 @@ func main() {
 		for _, g := range p.Groups {
 			templates[g.Func.Name] = g.FT
 		}
-		be := eval.EvaluateBackend(gen, c.Backends[*target], templates)
+		ref, err := p.ReferenceBackend(*target)
+		check(err)
+		be := eval.EvaluateBackend(gen, ref, templates)
 		tot := be.Totals()
 		fmt.Printf("pass@1: %d/%d functions accurate (%.1f%%), %d/%d statements (%.1f%%)\n",
 			tot.Accurate, tot.Funcs, 100*tot.FunctionAccuracy(),

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"vega/internal/confidence"
+	"vega/internal/corpus"
 	"vega/internal/feature"
 	"vega/internal/model"
 )
@@ -413,7 +414,7 @@ func (p *Pipeline) trainingSequences() [][]string {
 // names as unseen strings even during training.
 func (p *Pipeline) forceCharNames() []string {
 	var out []string
-	for _, t := range p.Corpus.Targets {
+	for t := range p.Provider.TargetSpecs() {
 		out = append(out, t.Name, lower(t.Name), upper(t.Name), t.TdName)
 	}
 	return out
@@ -434,8 +435,8 @@ func (p *Pipeline) absentSamples() []encodedSample {
 		for _, tgt := range g.Targets {
 			implements[tgt] = true
 		}
-		for _, b := range p.Corpus.TrainingBackends() {
-			tgt := b.Target.Name
+		for _, t := range corpus.TrainingSpecs(p.Provider) {
+			tgt := t.Name
 			if implements[tgt] {
 				continue
 			}

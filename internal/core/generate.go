@@ -605,10 +605,9 @@ func (p *Pipeline) GenerateBackendOptions(ctx context.Context, target string, op
 	var eng *repair.Engine
 	repairRounds := -1 // engine default
 	if opt.Verify || p.Cfg.Verify {
-		var ref *corpus.Backend
-		if p.Corpus != nil {
-			ref = p.Corpus.Backends[target]
-		}
+		// Best-effort: a target outside the fleet (generating for a brand
+		// new ISA) simply has no reference, and the oracle degrades.
+		ref, _ := p.Provider.ReferenceBackend(target)
 		eng = repair.NewEngine(&repair.Oracle{Ref: ref},
 			repairDecoder{p: p, target: target},
 			repair.Options{MaxRounds: p.Cfg.RepairRounds}, p.Cfg.Obs)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"vega/internal/corpus"
 	"vega/internal/feature"
@@ -153,7 +154,12 @@ type Group struct {
 
 // Pipeline holds every stage's state.
 type Pipeline struct {
-	Cfg       Config
+	Cfg Config
+	// Provider streams the corpus: target specs, the source tree, and one
+	// function group at a time. Always set by New/NewFromProvider.
+	Provider corpus.Provider
+	// Corpus is the resident corpus when the pipeline was built from one
+	// (New); nil under a purely streaming provider.
 	Corpus    *corpus.Corpus
 	Extractor *feature.Extractor
 	Groups    []*Group
@@ -193,38 +199,40 @@ type Pipeline struct {
 	pretrainWarn sync.Once
 }
 
-// New builds the pipeline through Stage 1 (templates + features) over the
-// given corpus. Templatization fans out over Cfg.Stage1Workers goroutines
-// and, when Cfg.Stage1Cache names a directory, is skipped entirely on a
-// content-addressed cache hit; both paths produce byte-identical state.
+// New builds the pipeline through Stage 1 (templates + features) over a
+// resident corpus. It is NewFromProvider with the resident provider; the
+// Corpus field is additionally set for callers that still reach into it.
 func New(c *corpus.Corpus, cfg Config) (*Pipeline, error) {
+	p, err := NewFromProvider(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.Corpus = c
+	return p, nil
+}
+
+// NewFromProvider builds the pipeline through Stage 1 (templates +
+// features) over any corpus provider — resident (*corpus.Corpus) or
+// streaming (corpus.Stream). Templatization is sharded per function group
+// over Cfg.Stage1Workers goroutines and merged back in corpus.AllFuncs()
+// order, so the result is byte-identical for any worker count. When
+// Cfg.Stage1Cache names a directory, each group is separately
+// content-addressed (s1cache.GroupKey): a warm build hits every group, an
+// edit to one target rebuilds only the groups that include it, and a
+// corrupt entry rebuilds and overwrites only itself.
+func NewFromProvider(pr corpus.Provider, cfg Config) (*Pipeline, error) {
 	p := &Pipeline{
 		Cfg:       cfg,
-		Corpus:    c,
-		Extractor: feature.NewExtractor(c.Tree, nil),
+		Provider:  pr,
+		Extractor: feature.NewExtractor(pr.SourceTree(), nil),
 		TrainFns:  make(map[string]bool),
 		VerifyFns: make(map[string]bool),
 		gm:        newGenMetrics(cfg.Obs),
 	}
-	o := cfg.Obs
-
-	var cache *s1cache.Cache
-	var cacheKey string
-	if cfg.Stage1Cache != "" {
-		cache = &s1cache.Cache{Dir: cfg.Stage1Cache}
-		cacheKey = s1cache.Key(c, s1cache.KeyConfig{
-			Seed:           cfg.Seed,
-			TrainFraction:  cfg.TrainFraction,
-			SplitByBackend: cfg.SplitByBackend,
-		})
-		if ok, err := p.loadCachedStage1(cache, cacheKey); err != nil {
-			return nil, err
-		} else if ok {
-			o.Counter("stage1.cache_hit").Inc()
-			return p, p.finishStage1()
-		}
-		o.Counter("stage1.cache_miss").Inc()
+	if c, ok := pr.(*corpus.Corpus); ok {
+		p.Corpus = c
 	}
+	o := cfg.Obs
 
 	span := o.StartSpan("stage1/templatize")
 	if err := p.templatize(); err != nil {
@@ -233,64 +241,55 @@ func New(c *corpus.Corpus, cfg Config) (*Pipeline, error) {
 	}
 	span.SetAttr(obs.Int("groups", len(p.Groups)))
 	span.End()
-
-	if cache != nil {
-		snap := &s1cache.Snapshot{Groups: make([]s1cache.Group, len(p.Groups))}
-		for i, g := range p.Groups {
-			snap.Groups[i] = s1cache.Group{
-				FuncName: g.Func.Name, Targets: g.Targets, FT: g.FT, TF: g.TF,
-			}
-		}
-		if err := cache.Store(cacheKey, snap); err != nil {
-			// A read-only or full cache directory must not fail the
-			// build; the next run simply misses again.
-			o.Counter("stage1.cache_store_errors").Inc()
-		}
-	}
 	return p, p.finishStage1()
 }
 
-// templatize runs Stage 1 proper: every function group is templatized
-// and feature-mined, fanned out over a bounded worker pool. Groups are
-// assembled serially in corpus.AllFuncs() order first and merged back by
-// index, so the result is byte-identical for any worker count (the
-// extractor and source-tree caches are mutex-safe and memoize pure
-// functions, so scheduling order cannot leak into the output).
+// stage1Cache bundles the per-group cache state computed once per build.
+type stage1Cache struct {
+	cache      *s1cache.Cache
+	coreHash   string
+	targetHash map[string]string
+}
+
+// openStage1Cache prepares per-group caching: the cache handle plus the
+// core and per-target tree hashes every group key derives from.
+func (p *Pipeline) openStage1Cache() *stage1Cache {
+	if p.Cfg.Stage1Cache == "" {
+		return nil
+	}
+	var names []string
+	for t := range p.Provider.TargetSpecs() {
+		names = append(names, t.Name)
+	}
+	sc := &stage1Cache{cache: &s1cache.Cache{Dir: p.Cfg.Stage1Cache}}
+	sc.coreHash, sc.targetHash = s1cache.TreeHashes(p.Provider.SourceTree(), names)
+	return sc
+}
+
+// templatize runs Stage 1 proper: every function group is streamed from
+// the provider, templatized, and feature-mined, fanned out over a bounded
+// worker pool. Jobs are indexed by corpus.AllFuncs() order and merged
+// back by index, so the result is byte-identical for any worker count
+// (the extractor and source-tree caches are mutex-safe and memoize pure
+// functions, so scheduling order cannot leak into the output). With a
+// cache directory configured, each group is looked up/stored under its
+// own content key inside the pool, and a fleet manifest ties the build's
+// entries together (superseded entries are garbage-collected).
 func (p *Pipeline) templatize() error {
-	training := p.Corpus.TrainingBackends()
-	type work struct {
-		ifn     corpus.InterfaceFunc
-		impls   []template.Impl
-		targets []string
-	}
-	var jobs []work
-	for _, ifn := range corpus.AllFuncs() {
-		group := corpus.FunctionGroup(training, ifn.Name)
-		if len(group) == 0 {
-			continue
-		}
-		var impls []template.Impl
-		var targets []string
-		for _, b := range training { // fleet order keeps determinism
-			fn, ok := group[b.Target.Name]
-			if !ok {
-				continue
-			}
-			impls = append(impls, template.NewImpl(b.Target.Name, fn))
-			targets = append(targets, b.Target.Name)
-		}
-		jobs = append(jobs, work{ifn: ifn, impls: impls, targets: targets})
-	}
+	o := p.Cfg.Obs
+	sc := p.openStage1Cache()
+	funcs := corpus.AllFuncs()
 
 	workers := p.Cfg.Stage1Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(funcs) {
+		workers = len(funcs)
 	}
-	groups := make([]*Group, len(jobs))
-	errs := make([]error, len(jobs))
+	groups := make([]*Group, len(funcs)) // nil where a function has no group
+	keys := make([]string, len(funcs))
+	errs := make([]error, len(funcs))
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -298,19 +297,11 @@ func (p *Pipeline) templatize() error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				j := jobs[i]
-				ft, err := template.Build(j.ifn.Name, j.impls)
-				if err != nil {
-					errs[i] = fmt.Errorf("core: templatize %s: %w", j.ifn.Name, err)
-					continue
-				}
-				ft.Module = string(j.ifn.Module)
-				tf := p.Extractor.Select(ft, j.targets)
-				groups[i] = &Group{Func: j.ifn, FT: ft, TF: tf, Targets: j.targets}
+				groups[i], keys[i], errs[i] = p.buildGroup(sc, funcs[i])
 			}
 		}()
 	}
-	for i := range jobs {
+	for i := range funcs {
 		idx <- i
 	}
 	close(idx)
@@ -320,8 +311,91 @@ func (p *Pipeline) templatize() error {
 			return err
 		}
 	}
-	p.Groups = groups
+	p.Groups = groups[:0:0]
+	var manifest s1cache.Manifest
+	for i, g := range groups {
+		if g == nil {
+			continue
+		}
+		p.Groups = append(p.Groups, g)
+		manifest.Groups = append(manifest.Groups, s1cache.ManifestGroup{
+			FuncName: funcs[i].Name, Key: keys[i],
+		})
+	}
+	if sc != nil {
+		var fnNames, tgtNames []string
+		for _, g := range manifest.Groups {
+			fnNames = append(fnNames, g.FuncName)
+		}
+		for t := range p.Provider.TargetSpecs() {
+			tgtNames = append(tgtNames, t.Name)
+		}
+		if err := sc.cache.StoreManifest(s1cache.FleetKey(fnNames, tgtNames), &manifest); err != nil {
+			// A read-only or full cache directory must not fail the
+			// build; the next run simply misses again.
+			o.Counter("stage1.cache_store_errors").Inc()
+		}
+	}
 	return nil
+}
+
+// buildGroup produces one function group: cache lookup first (hit /
+// corrupt-rebuild / miss, each counted), then templatize + feature-mine
+// from the provider's group source, storing the fresh entry back. A
+// function no training target implements yields (nil, "", nil). Safe to
+// call from pool workers: obs instruments are atomic and the cache is
+// keyed per group.
+func (p *Pipeline) buildGroup(sc *stage1Cache, ifn corpus.InterfaceFunc) (*Group, string, error) {
+	o := p.Cfg.Obs
+	gs := p.Provider.GroupSource(ifn)
+	if len(gs.Targets) == 0 {
+		return nil, "", nil
+	}
+	key := ""
+	if sc != nil {
+		key = s1cache.GroupKey(ifn.Name, string(ifn.Module), gs.Targets, gs.Sources, sc.targetHash, sc.coreHash)
+		e, err := sc.cache.LoadGroup(key)
+		switch {
+		case err == nil && e.FuncName == ifn.Name && len(e.Targets) == len(gs.Targets):
+			o.Counter("stage1.cache_hit").Inc()
+			return &Group{Func: ifn, FT: e.FT, TF: e.TF, Targets: e.Targets}, key, nil
+		case err == nil || errors.Is(err, s1cache.ErrCorrupt):
+			// A decodable-but-mismatched entry is a hash collision in
+			// practice and treated exactly like damage: rebuild this one
+			// group and overwrite it.
+			o.Counter("stage1.cache_corrupt").Inc()
+			o.Counter("stage1.cache_corrupt." + ifn.Name).Inc()
+		default: // ErrMiss, or an unreadable cache degrading to a rebuild
+			o.Counter("stage1.cache_miss").Inc()
+		}
+	}
+
+	start := time.Now()
+	nodes, err := gs.Impls()
+	if err != nil {
+		return nil, "", fmt.Errorf("core: templatize %s: %w", ifn.Name, err)
+	}
+	impls := make([]template.Impl, len(nodes))
+	for i, fn := range nodes {
+		impls[i] = template.NewImpl(gs.Targets[i], fn)
+	}
+	ft, err := template.Build(ifn.Name, impls)
+	if err != nil {
+		return nil, "", fmt.Errorf("core: templatize %s: %w", ifn.Name, err)
+	}
+	ft.Module = string(ifn.Module)
+	tf := p.Extractor.Select(ft, gs.Targets)
+	g := &Group{Func: ifn, FT: ft, TF: tf, Targets: gs.Targets}
+	o.Counter("stage1.group_builds").Inc()
+	o.Gauge("stage1.group_build_seconds." + ifn.Name).Set(time.Since(start).Seconds())
+
+	if sc != nil {
+		e := &s1cache.GroupEntry{FuncName: ifn.Name, Targets: g.Targets, FT: ft, TF: tf}
+		if err := sc.cache.StoreGroup(key, e); err != nil {
+			o.Counter("stage1.cache_store_errors").Inc()
+		}
+	}
+	return g, key, nil
 }
 
 // finishStage1 runs the split, builds the name index, and records the
@@ -344,39 +418,6 @@ func (p *Pipeline) finishStage1() error {
 	return nil
 }
 
-// loadCachedStage1 tries to restore Stage 1 state from the cache. ok
-// reports a usable hit; a miss or a detected-corrupt entry returns ok
-// false (the caller rebuilds and overwrites). Only non-cache I/O errors
-// are returned.
-func (p *Pipeline) loadCachedStage1(cache *s1cache.Cache, key string) (ok bool, err error) {
-	span := p.Cfg.Obs.StartSpan("stage1/load_cached", obs.String("key", key[:12]))
-	defer span.End()
-	snap, err := cache.Load(key)
-	if errors.Is(err, s1cache.ErrMiss) {
-		return false, nil
-	}
-	if errors.Is(err, s1cache.ErrCorrupt) {
-		p.Cfg.Obs.Counter("stage1.cache_corrupt").Inc()
-		return false, nil
-	}
-	if err != nil {
-		return false, nil // unreadable cache degrades to a rebuild
-	}
-	groups := make([]*Group, len(snap.Groups))
-	for i, cg := range snap.Groups {
-		ifn, found := corpus.FuncByName(cg.FuncName)
-		if !found {
-			// The cached function set no longer matches the build —
-			// treat as corrupt and rebuild.
-			p.Cfg.Obs.Counter("stage1.cache_corrupt").Inc()
-			return false, nil
-		}
-		groups[i] = &Group{Func: ifn, FT: cg.FT, TF: cg.TF, Targets: cg.Targets}
-	}
-	p.Groups = groups
-	return true, nil
-}
-
 // split performs the 75/25 train/verification split, either per function
 // group (the paper's scheme) or per backend (the §4.2 ablation). The
 // backend path clamps the cut like the per-group path does — at least
@@ -387,8 +428,8 @@ func (p *Pipeline) split() error {
 	rng := newRNG(p.Cfg.Seed)
 	if p.Cfg.SplitByBackend {
 		var names []string
-		for _, b := range p.Corpus.TrainingBackends() {
-			names = append(names, b.Target.Name)
+		for _, t := range corpus.TrainingSpecs(p.Provider) {
+			names = append(names, t.Name)
 		}
 		if len(names) < 2 {
 			return fmt.Errorf("%w: backend-based split needs ≥ 2 training backends, have %d",
@@ -482,11 +523,29 @@ func (p *Pipeline) Stats() Stats {
 	return s
 }
 
-// TrainingTargetNames lists training backends in fleet order.
+// TrainingTargetNames lists training targets in fleet order.
 func (p *Pipeline) TrainingTargetNames() []string {
 	var out []string
-	for _, b := range p.Corpus.TrainingBackends() {
-		out = append(out, b.Target.Name)
+	for _, t := range corpus.TrainingSpecs(p.Provider) {
+		out = append(out, t.Name)
 	}
 	return out
+}
+
+// TargetSpecs lists the provider's fleet in canonical order.
+func (p *Pipeline) TargetSpecs() []*corpus.TargetSpec {
+	return corpus.Specs(p.Provider)
+}
+
+// FindTarget returns the fleet's target spec with the given name, or nil.
+// Unlike the package-level corpus.FindTarget it sees the pipeline's
+// actual fleet — extended fleets and adopted targets included.
+func (p *Pipeline) FindTarget(name string) *corpus.TargetSpec {
+	return corpus.FindSpec(p.Provider, name)
+}
+
+// ReferenceBackend returns the parsed reference backend for one of the
+// fleet's targets, materializing it on demand under a streaming provider.
+func (p *Pipeline) ReferenceBackend(name string) (*corpus.Backend, error) {
+	return p.Provider.ReferenceBackend(name)
 }

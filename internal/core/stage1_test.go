@@ -2,10 +2,13 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"vega/internal/corpus"
 	"vega/internal/feature"
 	"vega/internal/obs"
 	"vega/internal/template"
@@ -77,9 +80,10 @@ func counterValue(o *obs.Obs, mem *obs.MemSink, name string) float64 {
 	return m.Value
 }
 
-// TestStage1CacheRoundTrip drives the content-addressed cache through
-// miss → populate → hit and requires the cached pipeline to be
-// byte-identical to the rebuilt one.
+// TestStage1CacheRoundTrip drives the per-group content-addressed cache
+// through miss → populate → hit and requires the cached pipeline to be
+// byte-identical to the rebuilt one. Every group gets its own entry plus
+// one fleet manifest.
 func TestStage1CacheRoundTrip(t *testing.T) {
 	c := testCorpus(t)
 	dir := t.TempDir()
@@ -89,6 +93,7 @@ func TestStage1CacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := stage1Fingerprint(t, baseline)
+	n := float64(len(baseline.Groups))
 
 	mem := &obs.MemSink{}
 	o := obs.New(mem)
@@ -99,18 +104,25 @@ func TestStage1CacheRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := counterValue(o, mem, "stage1.cache_miss"); got != 1 {
-		t.Fatalf("cold run: cache_miss = %v, want 1", got)
+	if got := counterValue(o, mem, "stage1.cache_miss"); got != n {
+		t.Fatalf("cold run: cache_miss = %v, want %v (one per group)", got, n)
 	}
 	if got := counterValue(o, mem, "stage1.cache_hit"); got != 0 {
 		t.Fatalf("cold run: cache_hit = %v, want 0", got)
 	}
+	if got := counterValue(o, mem, "stage1.group_builds"); got != n {
+		t.Fatalf("cold run: group_builds = %v, want %v", got, n)
+	}
 	if got := stage1Fingerprint(t, cold); got != want {
 		t.Fatal("cold (cache-miss) pipeline differs from uncached build")
 	}
-	entries, err := filepath.Glob(filepath.Join(dir, "*.s1"))
-	if err != nil || len(entries) != 1 {
-		t.Fatalf("cache entries = %v (err %v), want exactly one", entries, err)
+	groups, _ := filepath.Glob(filepath.Join(dir, "*.s1g"))
+	if len(groups) != len(baseline.Groups) {
+		t.Fatalf("group entries = %d, want %d", len(groups), len(baseline.Groups))
+	}
+	manifests, _ := filepath.Glob(filepath.Join(dir, "*.s1m"))
+	if len(manifests) != 1 {
+		t.Fatalf("manifests = %v, want exactly one", manifests)
 	}
 
 	mem2 := &obs.MemSink{}
@@ -120,8 +132,8 @@ func TestStage1CacheRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := counterValue(o2, mem2, "stage1.cache_hit"); got != 1 {
-		t.Fatalf("warm run: cache_hit = %v, want 1", got)
+	if got := counterValue(o2, mem2, "stage1.cache_hit"); got != n {
+		t.Fatalf("warm run: cache_hit = %v, want %v", got, n)
 	}
 	if got := counterValue(o2, mem2, "stage1.cache_miss"); got != 0 {
 		t.Fatalf("warm run: cache_miss = %v, want 0", got)
@@ -135,9 +147,9 @@ func TestStage1CacheRoundTrip(t *testing.T) {
 	}
 }
 
-// TestStage1CacheCorruptRebuild flips a payload byte in the only cache
-// entry and requires the next build to detect the corruption, rebuild
-// from scratch, and overwrite the entry with a good one.
+// TestStage1CacheCorruptRebuild flips a payload byte in one group entry
+// and requires the next build to detect the corruption, rebuild exactly
+// that group (every other group still hits), and overwrite the entry.
 func TestStage1CacheCorruptRebuild(t *testing.T) {
 	c := testCorpus(t)
 	dir := t.TempDir()
@@ -149,10 +161,11 @@ func TestStage1CacheCorruptRebuild(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := stage1Fingerprint(t, first)
+	n := float64(len(first.Groups))
 
-	entries, _ := filepath.Glob(filepath.Join(dir, "*.s1"))
-	if len(entries) != 1 {
-		t.Fatalf("cache entries = %v, want one", entries)
+	entries, _ := filepath.Glob(filepath.Join(dir, "*.s1g"))
+	if len(entries) != len(first.Groups) {
+		t.Fatalf("cache entries = %d, want %d", len(entries), len(first.Groups))
 	}
 	raw, err := os.ReadFile(entries[0])
 	if err != nil {
@@ -173,8 +186,22 @@ func TestStage1CacheCorruptRebuild(t *testing.T) {
 	if got := counterValue(o, mem, "stage1.cache_corrupt"); got != 1 {
 		t.Fatalf("cache_corrupt = %v, want 1", got)
 	}
-	if got := counterValue(o, mem, "stage1.cache_hit"); got != 0 {
-		t.Fatalf("cache_hit = %v, want 0 after corruption", got)
+	if got := counterValue(o, mem, "stage1.cache_hit"); got != n-1 {
+		t.Fatalf("cache_hit = %v, want %v (all but the corrupt group)", got, n-1)
+	}
+	if got := counterValue(o, mem, "stage1.group_builds"); got != 1 {
+		t.Fatalf("group_builds = %v, want 1 (only the corrupt group)", got)
+	}
+	// The corruption counter is also keyed by group for triage.
+	o.Flush()
+	perGroup := 0
+	for _, m := range mem.Metrics() {
+		if strings.HasPrefix(m.Name, "stage1.cache_corrupt.") && m.Value > 0 {
+			perGroup++
+		}
+	}
+	if perGroup != 1 {
+		t.Fatalf("per-group corrupt counters = %d, want 1", perGroup)
 	}
 	if got := stage1Fingerprint(t, rebuilt); got != want {
 		t.Fatal("rebuild after corruption differs from original state")
@@ -188,10 +215,114 @@ func TestStage1CacheCorruptRebuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := counterValue(o2, mem2, "stage1.cache_hit"); got != 1 {
-		t.Fatalf("after heal: cache_hit = %v, want 1", got)
+	if got := counterValue(o2, mem2, "stage1.cache_hit"); got != n {
+		t.Fatalf("after heal: cache_hit = %v, want %v", got, n)
 	}
 	if got := stage1Fingerprint(t, healed); got != want {
 		t.Fatal("healed cache entry decodes to different state")
+	}
+}
+
+// overrideProvider wraps the shared test corpus with one edited
+// implementation: ARM's getStackAlignment regenerated from a spec whose
+// StackAlign changed, exactly one group's content.
+func overrideProvider(t *testing.T, c *corpus.Corpus, align int) corpus.Provider {
+	t.Helper()
+	fn, ok := corpus.FuncByName("getStackAlignment")
+	if !ok {
+		t.Fatal("no getStackAlignment interface function")
+	}
+	spec := corpus.FindTarget("ARM")
+	if spec == nil {
+		t.Fatal("no ARM target")
+	}
+	edited := *spec
+	edited.StackAlign = align
+	return &corpus.Override{Provider: c, FuncName: fn.Name, Target: "ARM", Source: fn.Gen(&edited)}
+}
+
+// TestStage1IncrementalInvalidation is the tentpole contract: after a
+// warm build, editing one target's implementation of one function misses
+// exactly that group — every other group hits — and the incremental
+// result is byte-identical to a cold build of the same edited corpus,
+// for every worker count.
+func TestStage1IncrementalInvalidation(t *testing.T) {
+	c := testCorpus(t)
+	edited := overrideProvider(t, c, 64)
+
+	// Cold truth for the edited corpus, no cache involved.
+	coldEdited, err := NewFromProvider(edited, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stage1Fingerprint(t, coldEdited)
+
+	for _, workers := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := tinyConfig()
+			cfg.Stage1Cache = dir
+			cfg.Stage1Workers = workers
+
+			warm, err := NewFromProvider(c, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := float64(len(warm.Groups))
+
+			mem := &obs.MemSink{}
+			o := obs.New(mem)
+			cfg.Obs = o
+			incr, err := NewFromProvider(edited, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := counterValue(o, mem, "stage1.cache_miss"); got != 1 {
+				t.Fatalf("cache_miss = %v, want exactly 1 (the edited group)", got)
+			}
+			if got := counterValue(o, mem, "stage1.cache_hit"); got != n-1 {
+				t.Fatalf("cache_hit = %v, want %v", got, n-1)
+			}
+			if got := counterValue(o, mem, "stage1.group_builds"); got != 1 {
+				t.Fatalf("group_builds = %v, want 1", got)
+			}
+			if got := stage1Fingerprint(t, incr); got != want {
+				t.Fatal("incremental rebuild differs from cold build of the edited corpus")
+			}
+			// The edited group really changed content, not just identity.
+			if g := incr.GroupByName("getStackAlignment"); g == nil {
+				t.Fatal("edited group missing")
+			}
+			if stage1Fingerprint(t, warm) == want {
+				t.Fatal("override was a no-op: edited fingerprint equals unedited")
+			}
+		})
+	}
+}
+
+// TestStreamingProviderEquivalence pins the Provider abstraction: a
+// pipeline built from the streaming provider (groups rendered on demand,
+// nothing resident) is byte-identical to one built from the resident
+// corpus.
+func TestStreamingProviderEquivalence(t *testing.T) {
+	resident, err := New(testCorpus(t), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := NewFromProvider(corpus.NewStream(corpus.Targets()), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stage1Fingerprint(t, streamed) != stage1Fingerprint(t, resident) {
+		t.Fatal("streaming provider's Stage 1 state differs from resident corpus")
+	}
+	if streamed.Corpus != nil {
+		t.Fatal("streaming pipeline should have no resident corpus")
+	}
+	if _, err := streamed.ReferenceBackend("ARM"); err != nil {
+		t.Fatalf("streaming ReferenceBackend: %v", err)
+	}
+	if streamed.FindTarget("RISCV") == nil {
+		t.Fatal("streaming FindTarget lost the eval targets")
 	}
 }

@@ -3,6 +3,7 @@ package corpus
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"vega/internal/cpp"
 	"vega/internal/tablegen"
@@ -30,14 +31,25 @@ func AllFuncs() []InterfaceFunc {
 	return out
 }
 
-// FuncByName returns the interface function with the given name.
+// funcIndex lazily maps function name → InterfaceFunc. The function set
+// is process-constant, so the index is built once and shared.
+var funcIndex struct {
+	once sync.Once
+	m    map[string]InterfaceFunc
+}
+
+// FuncByName returns the interface function with the given name in O(1).
 func FuncByName(name string) (InterfaceFunc, bool) {
-	for _, f := range AllFuncs() {
-		if f.Name == name {
-			return f, true
+	funcIndex.once.Do(func() {
+		all := AllFuncs()
+		m := make(map[string]InterfaceFunc, len(all))
+		for _, f := range all {
+			m[f.Name] = f
 		}
-	}
-	return InterfaceFunc{}, false
+		funcIndex.m = m
+	})
+	f, ok := funcIndex.m[name]
+	return f, ok
 }
 
 // Backend is one target's complete set of reference implementations.
@@ -68,6 +80,24 @@ func (b *Backend) StatementCount() int {
 	return n
 }
 
+// ParseFunction parses one rendered reference implementation into its
+// normalized AST. A generator may emit the interface function plus local
+// helpers (MIPS-style GetRelocTypeInner); pre-processing recursively
+// inlines the helpers, as the paper's pipeline does.
+func ParseFunction(src string) (*cpp.Node, error) {
+	file, err := cpp.ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	fn := file.Children[0]
+	if len(file.Children) > 1 {
+		in := cpp.NewInliner(file.Children[1:])
+		fn = in.Inline(fn)
+	}
+	cpp.Normalize(fn)
+	return fn, nil
+}
+
 // BuildBackend renders and parses one target's reference backend.
 func BuildBackend(t *TargetSpec) (*Backend, error) {
 	b := &Backend{
@@ -80,19 +110,10 @@ func BuildBackend(t *TargetSpec) (*Backend, error) {
 		if src == "" {
 			continue
 		}
-		// A generator may emit the interface function plus local helpers
-		// (MIPS-style GetRelocTypeInner); pre-processing recursively
-		// inlines the helpers, as the paper's pipeline does.
-		file, err := cpp.ParseFile(src)
+		fn, err := ParseFunction(src)
 		if err != nil {
 			return nil, fmt.Errorf("corpus: %s %s: %w\n%s", t.Name, f.Name, err, src)
 		}
-		fn := file.Children[0]
-		if len(file.Children) > 1 {
-			in := cpp.NewInliner(file.Children[1:])
-			fn = in.Inline(fn)
-		}
-		cpp.Normalize(fn)
 		b.Funcs[f.Name] = fn
 		b.Sources[f.Name] = src
 	}
@@ -106,10 +127,12 @@ type Corpus struct {
 	Targets  []*TargetSpec
 }
 
-// Build renders the whole fleet: the LLVM core, every target's
+// Build renders the standard fleet: the LLVM core, every target's
 // description files, and every target's reference backend.
-func Build() (*Corpus, error) {
-	targets := Targets()
+func Build() (*Corpus, error) { return BuildFleet(Targets()) }
+
+// BuildFleet renders a resident corpus for an explicit fleet of targets.
+func BuildFleet(targets []*TargetSpec) (*Corpus, error) {
 	c := &Corpus{
 		Tree:     BuildTree(targets),
 		Backends: make(map[string]*Backend, len(targets)),

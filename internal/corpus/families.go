@@ -1,0 +1,257 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file grows the corpus from the hand-written standard fleet to 50+
+// targets via data-driven TargetSpec families, one per ISA archetype the
+// roadmap names: VLIW bundle machines, fully predicated ISAs,
+// tensor-accelerator targets (à la ACT), and RISC-V-style extension
+// families. Family members are synthesized from small parameter tables
+// rotated deterministically by index, so adding a member is one table
+// row, not a new hand-written spec.
+
+// HasExt reports whether the target carries a standard-extension letter.
+func (t *TargetSpec) HasExt(e string) bool {
+	for _, x := range t.Extensions {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// instByMnemonic finds an instruction by mnemonic.
+func (t *TargetSpec) instByMnemonic(m string) (InstSpec, bool) {
+	for _, i := range t.InstSet {
+		if i.Mnemonic == m {
+			return i, true
+		}
+	}
+	return InstSpec{}, false
+}
+
+// tensorInst returns the first tensor instruction whose mnemonic contains
+// sub, falling back to the first tensor instruction.
+func (t *TargetSpec) tensorInst(sub string) InstSpec {
+	for _, i := range t.Insts(ClassTensor) {
+		if strings.Contains(i.Mnemonic, sub) {
+			return i
+		}
+	}
+	return t.Inst(ClassTensor)
+}
+
+// addInsts appends instructions of one class, continuing the target's
+// opcode numbering from base.
+func addInsts(set []InstSpec, base int, class InstClass, size, lat int, mnems []string) []InstSpec {
+	for i, m := range mnems {
+		set = append(set, InstSpec{
+			Enum:     upper(m),
+			Mnemonic: m,
+			Class:    class,
+			Opcode:   base + len(set),
+			Size:     size,
+			Latency:  lat + i%2,
+		})
+	}
+	return set
+}
+
+// tensorNames order matters: compute, conv, load, store.
+var tensorNames = []string{"mma", "tconv", "tld", "tst"}
+
+// extMnemonics lists the instructions each standard extension adds; the
+// first entry is the extension's marquee mnemonic (used by the assembler
+// generators).
+func extMnemonics(e string) []string {
+	switch e {
+	case "m":
+		return []string{"mul", "div", "rem"}
+	case "c":
+		return []string{"c_add", "c_lw", "c_sw"}
+	case "f":
+		return []string{"fadd_s", "fmul_s", "flw", "fsw"}
+	}
+	return nil
+}
+
+// familyBase is the first opcode base reserved for family targets; the
+// standard fleet tops out at 0x140.
+const familyBase = 0x200
+
+// familySeat carries the per-member rotation parameters shared by all
+// four families.
+type familySeat struct {
+	name    string
+	style   NameStyle
+	names   map[InstClass][]string
+	ptrBits int
+	loBits  int
+	align   int
+	numRegs int
+	fix     []FixupKind
+}
+
+func familySeats(names []string, tabs []map[InstClass][]string) []familySeat {
+	stdFix := []FixupKind{FixHi, FixLo, FixBranch, FixJump, FixCall, FixAbs32}
+	richFix := append(append([]FixupKind{}, stdFix...), FixPCRelHi, FixPCRelLo, FixGotHi)
+	styles := []NameStyle{StyleLower, StyleUpper, StyleShort, StyleCamel}
+	out := make([]familySeat, len(names))
+	for i, n := range names {
+		s := familySeat{
+			name:    n,
+			style:   styles[i%len(styles)],
+			names:   tabs[i%len(tabs)],
+			ptrBits: []int{32, 64, 32}[i%3],
+			loBits:  []int{12, 16, 13}[i%3],
+			align:   []int{8, 16, 4}[i%3],
+			numRegs: []int{32, 64, 16}[i%3],
+			fix:     stdFix,
+		}
+		if i%2 == 0 {
+			s.fix = richFix
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// seatSpec fills the register-file and naming boilerplate every family
+// member shares; callers then flip archetype features and extend InstSet.
+func seatSpec(s familySeat, idx int) *TargetSpec {
+	n := s.numRegs
+	return &TargetSpec{
+		Name: s.name, TdName: s.name, Style: s.style,
+		BigEndian: idx%4 == 1, PtrBits: s.ptrBits, StackAlign: s.align,
+		LoBits: s.loBits, ProcName: lower(s.name) + "-gen1", RegSymbol: "",
+		NumRegs: n, RegPrefix: "r", SPIndex: n - 2, FPIndex: n - 4, RAIndex: n - 1,
+		CalleeSaved: []int{4, 5, 6, 7, 8, 9},
+		FixupKinds:  s.fix,
+	}
+}
+
+var vliwFamilyNames = []string{"TC62", "TC64", "TC67", "TM32", "ST200", "SHAVE", "VP500", "QDSP6", "EPIPH"}
+var predFamilyNames = []string{"IA64", "EPIC2", "PRED32", "CE3200", "ITAN", "PSEL", "GUARD8", "COND64", "PMOV"}
+var tensorFamilyNames = []string{"TPU1", "NPU16", "MXU", "TCORE", "AIE2", "VTA", "DLA8", "MAIA", "WSE"}
+var rvextFamilyNames = []string{"RV32M", "RV32C", "RV32F", "RV64M", "RV64C", "RV64F", "RV32MC", "RV64MF", "RV32MFC"}
+
+// rvextSets maps rvextFamilyNames to their extension letters.
+var rvextSets = [][]string{
+	{"m"}, {"c"}, {"f"}, {"m"}, {"c"}, {"f"}, {"m", "c"}, {"m", "f"}, {"m", "f", "c"},
+}
+
+// VLIWTargets synthesizes the VLIW-bundle family: explicitly parallel
+// machines issuing fixed bundles of 2–4 slots.
+func VLIWTargets() []*TargetSpec {
+	seats := familySeats(vliwFamilyNames, []map[InstClass][]string{dspNames, riscNames, armNames})
+	out := make([]*TargetSpec, len(seats))
+	for i, s := range seats {
+		base := familyBase + i*0x40
+		t := seatSpec(s, i)
+		t.HasVLIWBundles = true
+		t.BundleSize = 2 + i%3
+		t.HasSIMD = i%2 == 0
+		t.HasDisassembler = i%3 != 2
+		t.InstSet = stdInsts(base, 4, s.names, false, t.HasSIMD, false)
+		out[i] = t
+	}
+	return out
+}
+
+// PredicatedTargets synthesizes the fully predicated family: every
+// instruction guards on a predicate register, select never branches.
+func PredicatedTargets() []*TargetSpec {
+	seats := familySeats(predFamilyNames, []map[InstClass][]string{armNames, ciscNames, riscNames})
+	out := make([]*TargetSpec, len(seats))
+	for i, s := range seats {
+		base := familyBase + (len(vliwFamilyNames)+i)*0x40
+		t := seatSpec(s, i)
+		t.HasPredication = true
+		t.CmpUsesFlags = true
+		t.HasDisassembler = i%2 == 0
+		t.InstSet = stdInsts(base, 4, s.names, false, false, false)
+		out[i] = t
+	}
+	return out
+}
+
+// TensorTargets synthesizes the tensor-accelerator family: SIMD machines
+// with dedicated matrix/tensor instructions (ClassTensor).
+func TensorTargets() []*TargetSpec {
+	seats := familySeats(tensorFamilyNames, []map[InstClass][]string{riscNames, dspNames, armNames})
+	out := make([]*TargetSpec, len(seats))
+	for i, s := range seats {
+		base := familyBase + (len(vliwFamilyNames)+len(predFamilyNames)+i)*0x40
+		t := seatSpec(s, i)
+		t.HasTensorOps = true
+		t.HasSIMD = true
+		t.HasDisassembler = i%2 == 0
+		t.InstSet = stdInsts(base, 4, s.names, false, true, false)
+		t.InstSet = addInsts(t.InstSet, base, ClassTensor, 4, 4, tensorNames)
+		out[i] = t
+	}
+	return out
+}
+
+// RVExtTargets synthesizes the RISC-V-style extension family: a shared
+// base ISA plus rotating standard-extension sets (M/C/F).
+func RVExtTargets() []*TargetSpec {
+	seats := familySeats(rvextFamilyNames, []map[InstClass][]string{riscNames})
+	out := make([]*TargetSpec, len(seats))
+	for i, s := range seats {
+		base := familyBase + (len(vliwFamilyNames)+len(predFamilyNames)+len(tensorFamilyNames)+i)*0x40
+		t := seatSpec(s, i)
+		t.Style = StyleLower
+		t.LoBits = 12
+		if strings.HasPrefix(s.name, "RV64") {
+			t.PtrBits = 64
+		} else {
+			t.PtrBits = 32
+		}
+		t.Extensions = rvextSets[i]
+		t.HasDisassembler = true
+		t.InstSet = stdInsts(base, 4, s.names, false, false, false)
+		for _, e := range t.Extensions {
+			switch e {
+			case "m":
+				t.InstSet = addInsts(t.InstSet, base, ClassALU, 4, 2, []string{"mul", "div", "rem"})
+			case "c":
+				t.InstSet = addInsts(t.InstSet, base, ClassALU, 2, 1, []string{"c_add"})
+				t.InstSet = addInsts(t.InstSet, base, ClassLoad, 2, 3, []string{"c_lw"})
+				t.InstSet = addInsts(t.InstSet, base, ClassStore, 2, 1, []string{"c_sw"})
+			case "f":
+				t.InstSet = addInsts(t.InstSet, base, ClassALU, 4, 4, []string{"fadd_s", "fmul_s"})
+				t.InstSet = addInsts(t.InstSet, base, ClassLoad, 4, 3, []string{"flw"})
+				t.InstSet = addInsts(t.InstSet, base, ClassStore, 4, 1, []string{"fsw"})
+			}
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// FamilyTargets returns every synthesized family member, in family order.
+func FamilyTargets() []*TargetSpec {
+	var out []*TargetSpec
+	out = append(out, VLIWTargets()...)
+	out = append(out, PredicatedTargets()...)
+	out = append(out, TensorTargets()...)
+	out = append(out, RVExtTargets()...)
+	return out
+}
+
+// Fleet selects a named fleet: "standard" is the original hand-written
+// set (19 targets), "extended" adds the four archetype families (50+).
+func Fleet(name string) ([]*TargetSpec, error) {
+	switch name {
+	case "", "standard":
+		return Targets(), nil
+	case "extended":
+		return append(Targets(), FamilyTargets()...), nil
+	default:
+		return nil, fmt.Errorf("corpus: unknown fleet %q (want standard or extended)", name)
+	}
+}

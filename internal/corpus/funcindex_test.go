@@ -1,0 +1,53 @@
+package corpus
+
+import "testing"
+
+// TestFuncByNameIndex pins the lazily built name index against the
+// authoritative AllFuncs list: every function resolves to itself, and
+// unknown names miss cleanly.
+func TestFuncByNameIndex(t *testing.T) {
+	all := AllFuncs()
+	if len(all) == 0 {
+		t.Fatal("AllFuncs is empty")
+	}
+	for _, want := range all {
+		got, ok := FuncByName(want.Name)
+		if !ok {
+			t.Fatalf("FuncByName(%q) missed", want.Name)
+		}
+		if got.Name != want.Name || got.Module != want.Module {
+			t.Fatalf("FuncByName(%q) = %s/%s", want.Name, got.Name, got.Module)
+		}
+	}
+	if _, ok := FuncByName("noSuchFunction"); ok {
+		t.Fatal("FuncByName invented a function")
+	}
+}
+
+// TestFuncByNameConstantTime guards the satellite regression: lookups
+// after the first must not rescan or reallocate — zero allocations per
+// call is the observable proxy for the O(1) map path (the old linear
+// scan allocated the AllFuncs slice on every call).
+func TestFuncByNameConstantTime(t *testing.T) {
+	FuncByName("getRelocType") // force the index build outside the measurement
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := FuncByName("getRelocType"); !ok {
+			t.Fatal("lookup missed")
+		}
+		if _, ok := FuncByName("noSuchFunction"); ok {
+			t.Fatal("phantom hit")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("FuncByName allocates %v per lookup, want 0", allocs)
+	}
+}
+
+// BenchmarkFuncByName records the lookup cost for the bench harness.
+func BenchmarkFuncByName(b *testing.B) {
+	FuncByName("getRelocType")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FuncByName("getRelocType")
+	}
+}

@@ -48,6 +48,21 @@ func genMatchInstruction(t *TargetSpec) string {
 		fmt.Fprintf(&b, "    if (Mnemonic == \"%s\") {\n      return %s;\n    }\n", io.Mnemonic, t.QualInst(io))
 		b.WriteString("  }\n")
 	}
+	if t.HasTensorOps {
+		tens := t.Inst(ClassTensor)
+		b.WriteString("  if (STI.hasFeature(HasTensorOps)) {\n")
+		fmt.Fprintf(&b, "    if (Mnemonic == \"%s\") {\n      return %s;\n    }\n", tens.Mnemonic, t.QualInst(tens))
+		b.WriteString("  }\n")
+	}
+	for _, e := range t.Extensions {
+		inst, ok := t.instByMnemonic(extMnemonics(e)[0])
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "  if (STI.hasFeature(HasStdExt%s)) {\n", upper(e))
+		fmt.Fprintf(&b, "    if (Mnemonic == \"%s\") {\n      return %s;\n    }\n", inst.Mnemonic, t.QualInst(inst))
+		b.WriteString("  }\n")
+	}
 	b.WriteString("  return 0;\n")
 	b.WriteString("}\n")
 	return b.String()
@@ -88,6 +103,12 @@ func genParseDirective(t *TargetSpec) string {
 		b.WriteString("    return true;\n")
 		b.WriteString("  }\n")
 	}
+	if t.HasExt("c") {
+		// RISC-V-style assemblers toggle compression via .option rvc.
+		b.WriteString("  if (Directive == \".option\") {\n")
+		b.WriteString("    return true;\n")
+		b.WriteString("  }\n")
+	}
 	fmt.Fprintf(&b, "  if (Directive == \".align\") {\n    return %v;\n  }\n", t.StackAlign > 1)
 	b.WriteString("  return false;\n")
 	b.WriteString("}\n")
@@ -100,6 +121,12 @@ func genIsValidCPU(t *TargetSpec) string {
 	fmt.Fprintf(&b, "  if (CPU == \"%s\") {\n", t.procName())
 	b.WriteString("    return true;\n")
 	b.WriteString("  }\n")
+	if len(t.Extensions) > 0 {
+		// Extension families accept the base CPU plus its extension string.
+		fmt.Fprintf(&b, "  if (CPU == \"%s%s\") {\n", t.procName(), strings.Join(t.Extensions, ""))
+		b.WriteString("    return true;\n")
+		b.WriteString("  }\n")
+	}
 	b.WriteString("  return CPU == \"generic\";\n")
 	b.WriteString("}\n")
 	return b.String()

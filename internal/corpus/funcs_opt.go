@@ -17,8 +17,22 @@ func genGetInstSizeInBytes(t *TargetSpec) string {
 		fmt.Fprintf(&b, "    return %d;\n", inst.Size)
 	}
 	call := t.Inst(ClassCall)
+	callMult := 2
+	if t.HasVLIWBundles && t.BundleSize > 0 {
+		// A call occupies a whole issue bundle.
+		callMult = t.BundleSize
+	}
 	fmt.Fprintf(&b, "  case %s:\n", t.QualInst(call))
-	fmt.Fprintf(&b, "    return %d;\n", call.Size*2)
+	fmt.Fprintf(&b, "    return %d;\n", call.Size*callMult)
+	if t.HasExt("c") {
+		// Compressed-extension instructions are half-width.
+		for _, inst := range t.InstSet {
+			if inst.Size == 2 {
+				fmt.Fprintf(&b, "  case %s:\n", t.QualInst(inst))
+			}
+		}
+		b.WriteString("    return 2;\n")
+	}
 	b.WriteString("  default:\n")
 	fmt.Fprintf(&b, "    return %d;\n", t.Inst(ClassALU).Size)
 	b.WriteString("  }\n")
@@ -80,6 +94,12 @@ func genIsProfitableToHoist(t *TargetSpec) string {
 		b.WriteString("    return false;\n")
 		b.WriteString("  }\n")
 	}
+	if t.HasPredication {
+		// If-converted regions make hoisting across branches free.
+		b.WriteString("  if (STI.hasFeature(HasPredication) && MI.isBranch()) {\n")
+		b.WriteString("    return true;\n")
+		b.WriteString("  }\n")
+	}
 	b.WriteString("  return true;\n")
 	b.WriteString("}\n")
 	return b.String()
@@ -118,6 +138,9 @@ func genEnablePostRAScheduler(t *TargetSpec) string {
 	switch {
 	case t.HasDelaySlots:
 		b.WriteString("  return false;\n")
+	case t.HasVLIWBundles:
+		// Static bundling depends on post-RA scheduling.
+		b.WriteString("  return true;\n")
 	case t.HasSIMD || t.HasHardwareLoop:
 		b.WriteString("  return true;\n")
 	default:

@@ -20,6 +20,10 @@ func genGetInstrLatency(t *TargetSpec) string {
 		fmt.Fprintf(&b, "  case %s:\n", t.QualInst(inst))
 		fmt.Fprintf(&b, "    return %d;\n", inst.Latency)
 	}
+	for _, inst := range t.Insts(ClassTensor) {
+		fmt.Fprintf(&b, "  case %s:\n", t.QualInst(inst))
+		fmt.Fprintf(&b, "    return %d;\n", inst.Latency)
+	}
 	call := t.Inst(ClassCall)
 	fmt.Fprintf(&b, "  case %s:\n", t.QualInst(call))
 	fmt.Fprintf(&b, "    return %d;\n", call.Latency)
@@ -36,6 +40,12 @@ func genIsSchedulingBoundary(t *TargetSpec) string {
 	b.WriteString("  if (MI.isTerminator() || MI.isLabel()) {\n")
 	b.WriteString("    return true;\n")
 	b.WriteString("  }\n")
+	if t.HasVLIWBundles {
+		// Bundle boundaries: calls always end a VLIW issue packet.
+		b.WriteString("  if (STI.hasFeature(HasVLIWBundles) && MI.isCall()) {\n")
+		b.WriteString("    return true;\n")
+		b.WriteString("  }\n")
+	}
 	b.WriteString("  switch (MI.getOpcode()) {\n")
 	fmt.Fprintf(&b, "  case %s:\n", t.QualInst(t.Inst(ClassCall)))
 	if t.HasHardwareLoop {
@@ -45,6 +55,9 @@ func genIsSchedulingBoundary(t *TargetSpec) string {
 	if t.HasRealtime {
 		ios := t.Insts(ClassIO)
 		fmt.Fprintf(&b, "  case %s:\n", t.QualInst(ios[len(ios)-1]))
+	}
+	if t.HasTensorOps {
+		fmt.Fprintf(&b, "  case %s:\n", t.QualInst(t.Inst(ClassTensor)))
 	}
 	b.WriteString("    return true;\n")
 	b.WriteString("  default:\n")
@@ -90,6 +103,12 @@ func genGetSchedPriority(t *TargetSpec) string {
 	if t.HasSIMD {
 		b.WriteString("  if (MI.isVector()) {\n")
 		fmt.Fprintf(&b, "    return %d;\n", t.Inst(ClassSIMD).Latency)
+		b.WriteString("  }\n")
+	}
+	if t.HasVLIWBundles {
+		// Calls drain the whole bundle; priority scales with its width.
+		b.WriteString("  if (MI.isCall()) {\n")
+		fmt.Fprintf(&b, "    return %d;\n", t.BundleSize)
 		b.WriteString("  }\n")
 	}
 	b.WriteString("  return 1;\n")

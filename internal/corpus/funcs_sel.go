@@ -104,6 +104,17 @@ func genSelectLoadOpcode(t *TargetSpec) string {
 	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(loads[1%len(loads)]))
 	b.WriteString("  case 4:\n")
 	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(loads[0]))
+	// Archetype-specific wide loads: tensor targets route 8-byte loads
+	// through the tensor load unit, F-extension targets through the FPU.
+	if t.HasTensorOps {
+		b.WriteString("  case 8:\n")
+		fmt.Fprintf(&b, "    return %s;\n", t.QualInst(t.tensorInst("tld")))
+	} else if t.HasExt("f") {
+		if fl, ok := t.instByMnemonic("flw"); ok {
+			b.WriteString("  case 8:\n")
+			fmt.Fprintf(&b, "    return %s;\n", t.QualInst(fl))
+		}
+	}
 	b.WriteString("  default:\n")
 	b.WriteString("    report_fatal_error(\"unsupported load size\");\n")
 	b.WriteString("  }\n")
@@ -122,6 +133,15 @@ func genSelectStoreOpcode(t *TargetSpec) string {
 	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(stores[1%len(stores)]))
 	b.WriteString("  case 4:\n")
 	fmt.Fprintf(&b, "    return %s;\n", t.QualInst(stores[0]))
+	if t.HasTensorOps {
+		b.WriteString("  case 8:\n")
+		fmt.Fprintf(&b, "    return %s;\n", t.QualInst(t.tensorInst("tst")))
+	} else if t.HasExt("f") {
+		if fs, ok := t.instByMnemonic("fsw"); ok {
+			b.WriteString("  case 8:\n")
+			fmt.Fprintf(&b, "    return %s;\n", t.QualInst(fs))
+		}
+	}
 	b.WriteString("  default:\n")
 	b.WriteString("    report_fatal_error(\"unsupported store size\");\n")
 	b.WriteString("  }\n")
@@ -141,6 +161,12 @@ func genGetCallOpcode(t *TargetSpec) string {
 func genShouldExpandSelect(t *TargetSpec) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "bool %sTargetLowering::shouldExpandSelect(unsigned VT) {\n", t.Name)
+	if t.HasPredication {
+		// Predicated ISAs lower select to predicated moves, never branches.
+		b.WriteString("  if (STI.hasFeature(HasPredication)) {\n")
+		b.WriteString("    return false;\n")
+		b.WriteString("  }\n")
+	}
 	if t.HasSIMD {
 		b.WriteString("  if (STI.hasFeature(HasSIMD) && VT > MVT::i64) {\n")
 		b.WriteString("    return false;\n")

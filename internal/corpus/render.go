@@ -159,6 +159,11 @@ class LoopInst : Instruction {
 }
 class IOInst : Instruction {
 }
+class TensorInst : Instruction {
+}
+class Extension {
+  string Ext = "";
+}
 class Operand {
   string OperandType = "OPERAND_UNKNOWN";
 }
@@ -188,6 +193,10 @@ class SubtargetFeatures {
   bit HasDisassembler = 0;
   bit HasFramePointer = 0;
   bit HasReturnAddressReg = 0;
+  bit HasVLIWBundles = 0;
+  bit HasPredication = 0;
+  bit HasTensorOps = 0;
+  int BundleSize = 0;
 }
 class Proc {
   string ProcName = "";
@@ -217,6 +226,8 @@ func instParentClass(c InstClass) string {
 		return "LoopInst"
 	case ClassIO:
 		return "IOInst"
+	case ClassTensor:
+		return "TensorInst"
 	}
 	return "Instruction"
 }
@@ -245,7 +256,16 @@ func RenderTarget(tree *tablegen.SourceTree, t *TargetSpec) {
 	flag("HasDisassembler", t.HasDisassembler)
 	flag("HasFramePointer", t.FPIndex >= 0)
 	flag("HasReturnAddressReg", t.RAIndex >= 0)
+	flag("HasVLIWBundles", t.HasVLIWBundles)
+	flag("HasPredication", t.HasPredication)
+	flag("HasTensorOps", t.HasTensorOps)
+	if t.BundleSize > 0 {
+		fmt.Fprintf(&td, "  let BundleSize = %d;\n", t.BundleSize)
+	}
 	td.WriteString("}\n")
+	for _, e := range t.Extensions {
+		fmt.Fprintf(&td, "def %sExt%s : Extension {\n  let Ext = \"%s\";\n}\n", t.Name, upper(e), e)
+	}
 	fmt.Fprintf(&td, "def %sProc : Proc {\n  let ProcName = \"%s\";\n}\n", t.Name, t.procName())
 	tree.Add(dir+t.Name+".td", td.String())
 

@@ -129,7 +129,8 @@ const (
 	ClassMove   InstClass = "MOVE"
 	ClassSIMD   InstClass = "SIMD"
 	ClassLoop   InstClass = "HWLOOP"
-	ClassIO     InstClass = "RTIO" // xCORE-style real-time I/O
+	ClassIO     InstClass = "RTIO"   // xCORE-style real-time I/O
+	ClassTensor InstClass = "TENSOR" // accelerator matrix/tensor ops
 )
 
 // InstSpec is one instruction a target defines.
@@ -175,6 +176,22 @@ type TargetSpec struct {
 	HasRealtime     bool
 	HasDelaySlots   bool
 	CmpUsesFlags    bool
+
+	// ISA-archetype features (the scale-out families).
+	//
+	// HasVLIWBundles marks explicitly-parallel targets that issue fixed
+	// instruction bundles of BundleSize slots (TI-C6x/TriMedia style).
+	HasVLIWBundles bool
+	BundleSize     int
+	// HasPredication marks fully predicated ISAs (IA-64/ARM-CE style):
+	// select lowers to predicated moves, never to branches.
+	HasPredication bool
+	// HasTensorOps marks accelerator-flavoured targets with dedicated
+	// matrix/tensor instructions (ClassTensor) à la ACT.
+	HasTensorOps bool
+	// Extensions lists RISC-V-style standard-extension letters ("m",
+	// "c", "f"); each adds instructions and assembler surface.
+	Extensions []string
 
 	FixupKinds []FixupKind
 	InstSet    []InstSpec

@@ -90,6 +90,12 @@ func (u *Universe) Env(optLevel int64) *interp.Env {
 		"HasDisassembler":     t.HasDisassembler,
 		"HasFramePointer":     t.FPIndex >= 0,
 		"HasReturnAddressReg": t.RAIndex >= 0,
+		"HasVLIWBundles":      t.HasVLIWBundles,
+		"HasPredication":      t.HasPredication,
+		"HasTensorOps":        t.HasTensorOps,
+	}
+	for _, e := range t.Extensions {
+		features["HasStdExt"+strings.ToUpper(e)] = true
 	}
 	for name := range features {
 		env.Globals[name] = name

@@ -4,15 +4,21 @@
 // harness, the eval loop) skip templatization and feature selection
 // entirely.
 //
-// Entries are addressed by a SHA-256 key over the corpus sources and the
-// Stage-1-relevant configuration (see Key), so any change to a source
-// file, the fleet, the interface-function set, or the split parameters
-// produces a different key and a clean miss — there is no invalidation
-// protocol to get wrong. Files follow the checkpoint discipline of
-// internal/core: a self-verifying header (magic, format version, payload
-// length, SHA-256 of the payload) over a gob payload, written atomically
-// (temp file, fsync, rename), so torn or bit-flipped entries surface as
-// ErrCorrupt and callers fall back to a rebuild.
+// The cache is sharded per function group: each group's template and
+// features live in their own entry (`<key>.s1g`), addressed by a SHA-256
+// over only that group's inputs — the function identity, the group's
+// training targets, their rendered sources, the per-target slice of the
+// description tree, and the shared core tree (see GroupKey). Editing one
+// target therefore re-keys only the groups that include it; every other
+// group still hits. A fleet-level manifest (`<key>.s1m`, see FleetKey)
+// records which group entries a build used, providing stats and garbage
+// collection of superseded entries.
+//
+// Files follow the checkpoint discipline of internal/core: a
+// self-verifying header (magic, format version, payload length, SHA-256
+// of the payload) over a gob payload, written atomically (temp file,
+// fsync, rename), so torn or bit-flipped entries surface as ErrCorrupt
+// and callers rebuild exactly the damaged group.
 package s1cache
 
 import (
@@ -25,10 +31,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
+	"strings"
 
-	"vega/internal/corpus"
 	"vega/internal/feature"
+	"vega/internal/tablegen"
 	"vega/internal/template"
 )
 
@@ -36,80 +42,127 @@ var (
 	// ErrMiss marks a key with no cache entry.
 	ErrMiss = errors.New("s1cache: miss")
 	// ErrCorrupt marks an entry that failed self-verification; callers
-	// should rebuild and overwrite.
+	// should rebuild and overwrite only that entry.
 	ErrCorrupt = errors.New("s1cache: entry corrupt")
 )
 
 var magic = [8]byte{'V', 'E', 'G', 'A', 'S', '1', 'C', 'H'}
 
-// formatVersion is bumped whenever the snapshot layout or the meaning of
-// cached artifacts changes; it participates in the key, so stale-format
-// entries are simply never addressed.
-const formatVersion = 1
+// formatVersion is bumped whenever the entry layout or the meaning of
+// cached artifacts changes; it participates in every key, so
+// stale-format entries are simply never addressed. Version 2 introduced
+// per-group entries and the fleet manifest.
+const formatVersion = 2
 
 // headerLen is magic(8) + version(4) + payload length(8) + sha256(32).
 const headerLen = 8 + 4 + 8 + sha256.Size
 
-// Group is one cached function group: everything core rebuilds per
+// GroupEntry is one cached function group: everything core rebuilds per
 // group during Stage 1 except the live extractor. The interface function
-// itself is stored by name and re-resolved against corpus.AllFuncs on
+// itself is stored by name and re-resolved against corpus.FuncByName on
 // load (it carries a generator closure that cannot be serialized).
-type Group struct {
+type GroupEntry struct {
 	FuncName string
 	Targets  []string
 	FT       *template.FunctionTemplate
 	TF       *feature.TemplateFeatures
 }
 
-// Snapshot is a full Stage 1 result set, in corpus.AllFuncs order.
-type Snapshot struct {
-	Groups []Group
+// Manifest ties one build's group entries together under the fleet key:
+// the group keys a warm rebuild will look up, in corpus.AllFuncs order.
+type Manifest struct {
+	Groups []ManifestGroup
 }
 
-// KeyConfig is the Stage-1-relevant slice of the pipeline config: the
-// fields that shape templates, features, or the train/verify split.
-type KeyConfig struct {
-	Seed           int64
-	TrainFraction  float64
-	SplitByBackend bool
+// ManifestGroup names one group entry.
+type ManifestGroup struct {
+	FuncName string
+	Key      string
 }
 
-// Key computes the content address for a corpus + config pair: a SHA-256
-// over the cache format version, the split-relevant config, the
-// interface-function set, the training fleet, every rendered backend
-// source, and every source-tree file. Any difference in inputs yields a
-// different key.
-func Key(c *corpus.Corpus, cfg KeyConfig) string {
+// GroupKey computes the content address of one function group: a
+// SHA-256 over the cache format version, the function identity, and per
+// training target its name, its rendered source for this function, and
+// its description-tree hash, plus the shared core-tree hash. Only edits
+// that can change this group's template or features change the key.
+func GroupKey(fnName, module string, targets, sources []string, targetHash map[string]string, coreHash string) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "v%d|seed=%d|frac=%g|bybackend=%t\n",
-		formatVersion, cfg.Seed, cfg.TrainFraction, cfg.SplitByBackend)
-	for _, f := range corpus.AllFuncs() {
-		fmt.Fprintf(h, "fn|%s|%s\n", f.Name, f.Module)
-	}
-	for _, t := range c.Targets {
-		fmt.Fprintf(h, "tgt|%s|eval=%t\n", t.Name, t.Eval)
-		b := c.Backends[t.Name]
-		if b == nil {
-			continue
+	fmt.Fprintf(h, "v%d|fn|%s|%s\n", formatVersion, fnName, module)
+	for i, t := range targets {
+		src := ""
+		if i < len(sources) {
+			src = sources[i]
 		}
-		names := make([]string, 0, len(b.Sources))
-		for n := range b.Sources {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Fprintf(h, "src|%s|%d|", n, len(b.Sources[n]))
-			h.Write([]byte(b.Sources[n]))
-			h.Write([]byte{'\n'})
-		}
-	}
-	for _, p := range c.Tree.Paths() {
-		content, _ := c.Tree.Content(p)
-		fmt.Fprintf(h, "file|%s|%d|", p, len(content))
-		h.Write([]byte(content))
+		fmt.Fprintf(h, "tgt|%s|td=%s|%d|", t, targetHash[t], len(src))
+		h.Write([]byte(src))
 		h.Write([]byte{'\n'})
 	}
+	fmt.Fprintf(h, "core|%s\n", coreHash)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FleetKey computes the manifest address for a fleet + function set: the
+// cache format version, every interface function, and every target's
+// name and eval role. Split parameters are deliberately excluded — the
+// train/verify split is recomputed from the cached groups on every load.
+func FleetKey(funcs []string, targets []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d|fleet\n", formatVersion)
+	for _, f := range funcs {
+		fmt.Fprintf(h, "fn|%s\n", f)
+	}
+	for _, t := range targets {
+		fmt.Fprintf(h, "tgt|%s\n", t)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TreeHashes classifies the source tree into the shared core and
+// per-target slices, hashing each bucket: paths under lib/Target/<T>/
+// and llvm/BinaryFormat/ELFRelocs/<T>.def belong to target T, everything
+// else to the core. targets lists the fleet's target names.
+func TreeHashes(tree *tablegen.SourceTree, targets []string) (core string, byTarget map[string]string) {
+	owner := func(p string) string {
+		if rest, ok := strings.CutPrefix(p, "lib/Target/"); ok {
+			if t, _, ok := strings.Cut(rest, "/"); ok {
+				return t
+			}
+		}
+		if rest, ok := strings.CutPrefix(p, "llvm/BinaryFormat/ELFRelocs/"); ok {
+			if t, ok := strings.CutSuffix(rest, ".def"); ok {
+				return t
+			}
+		}
+		return ""
+	}
+	known := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		known[t] = true
+	}
+	sums := map[string]*bytes.Buffer{"": {}}
+	for _, p := range tree.Paths() { // Paths is sorted: buckets are deterministic
+		t := owner(p)
+		if !known[t] {
+			t = "" // unknown owners count as core, never silently dropped
+		}
+		buf := sums[t]
+		if buf == nil {
+			buf = &bytes.Buffer{}
+			sums[t] = buf
+		}
+		content, _ := tree.Content(p)
+		fmt.Fprintf(buf, "file|%s|%d|%s\n", p, len(content), content)
+	}
+	byTarget = make(map[string]string, len(sums))
+	for t, buf := range sums {
+		sum := sha256.Sum256(buf.Bytes())
+		if t == "" {
+			core = hex.EncodeToString(sum[:])
+		} else {
+			byTarget[t] = hex.EncodeToString(sum[:])
+		}
+	}
+	return core, byTarget
 }
 
 // Cache is a directory of content-addressed Stage 1 entries.
@@ -117,16 +170,20 @@ type Cache struct {
 	Dir string
 }
 
-// path maps a key to its entry file.
-func (c *Cache) path(key string) string {
-	return filepath.Join(c.Dir, key+".s1")
+// groupPath maps a group key to its entry file.
+func (c *Cache) groupPath(key string) string {
+	return filepath.Join(c.Dir, key+".s1g")
 }
 
-// Load reads and verifies the entry for key. Returns ErrMiss when no
-// entry exists and ErrCorrupt (wrapped) when one exists but fails
-// verification or decoding.
-func (c *Cache) Load(key string) (*Snapshot, error) {
-	raw, err := os.ReadFile(c.path(key))
+// manifestPath maps a fleet key to its manifest file.
+func (c *Cache) manifestPath(key string) string {
+	return filepath.Join(c.Dir, key+".s1m")
+}
+
+// readBlob reads and verifies one self-checking file, returning the gob
+// payload. ErrMiss when absent, ErrCorrupt (wrapped) on any damage.
+func readBlob(path, key string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, ErrMiss
@@ -150,49 +207,22 @@ func (c *Cache) Load(key string) (*Snapshot, error) {
 	if sha256.Sum256(payload) != want {
 		return nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, key)
 	}
-	var snap Snapshot
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, key, err)
-	}
-	// Relink the template pointer the encoder detached (see Store).
-	for i := range snap.Groups {
-		if snap.Groups[i].TF != nil {
-			snap.Groups[i].TF.FT = snap.Groups[i].FT
-		}
-	}
-	return &snap, nil
+	return payload, nil
 }
 
-// Store writes the entry for key atomically: encode, checksum, temp
-// file in the cache directory, fsync, rename. An existing entry for the
-// same key is replaced.
-func (c *Cache) Store(key string, snap *Snapshot) error {
+// writeBlob writes one self-checking file atomically: header + payload
+// into a temp file in the cache directory, fsync, rename.
+func (c *Cache) writeBlob(path, key string, payload []byte) error {
 	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
 		return fmt.Errorf("s1cache: store: %w", err)
 	}
-	// Detach each TF's back-pointer to its template before encoding so
-	// the gob stream carries one copy of every template, not two; Load
-	// relinks. The shallow copy keeps the caller's structs untouched.
-	enc := Snapshot{Groups: make([]Group, len(snap.Groups))}
-	for i, g := range snap.Groups {
-		if g.TF != nil {
-			tf := *g.TF
-			tf.FT = nil
-			g.TF = &tf
-		}
-		enc.Groups[i] = g
-	}
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(&enc); err != nil {
-		return fmt.Errorf("s1cache: store: %w", err)
-	}
-	sum := sha256.Sum256(payload.Bytes())
-	buf := make([]byte, 0, headerLen+payload.Len())
+	sum := sha256.Sum256(payload)
+	buf := make([]byte, 0, headerLen+len(payload))
 	buf = append(buf, magic[:]...)
 	buf = binary.BigEndian.AppendUint32(buf, formatVersion)
-	buf = binary.BigEndian.AppendUint64(buf, uint64(payload.Len()))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(payload)))
 	buf = append(buf, sum[:]...)
-	buf = append(buf, payload.Bytes()...)
+	buf = append(buf, payload...)
 
 	tmp, err := os.CreateTemp(c.Dir, "."+key+".tmp*")
 	if err != nil {
@@ -210,8 +240,88 @@ func (c *Cache) Store(key string, snap *Snapshot) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("s1cache: store: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("s1cache: store: %w", err)
+	}
+	return nil
+}
+
+// LoadGroup reads and verifies one group entry. Returns ErrMiss when no
+// entry exists and ErrCorrupt (wrapped) when one exists but fails
+// verification or decoding.
+func (c *Cache) LoadGroup(key string) (*GroupEntry, error) {
+	payload, err := readBlob(c.groupPath(key), key)
+	if err != nil {
+		return nil, err
+	}
+	var e GroupEntry
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, key, err)
+	}
+	// Relink the template pointer the encoder detached (see StoreGroup).
+	if e.TF != nil {
+		e.TF.FT = e.FT
+	}
+	return &e, nil
+}
+
+// StoreGroup writes one group entry atomically, replacing any existing
+// entry for the same key.
+func (c *Cache) StoreGroup(key string, e *GroupEntry) error {
+	// Detach the TF's back-pointer to its template before encoding so the
+	// gob stream carries one copy of the template, not two; LoadGroup
+	// relinks. The shallow copy keeps the caller's structs untouched.
+	enc := *e
+	if enc.TF != nil {
+		tf := *enc.TF
+		tf.FT = nil
+		enc.TF = &tf
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&enc); err != nil {
+		return fmt.Errorf("s1cache: store: %w", err)
+	}
+	return c.writeBlob(c.groupPath(key), key, payload.Bytes())
+}
+
+// LoadManifest reads and verifies the manifest for a fleet key.
+func (c *Cache) LoadManifest(key string) (*Manifest, error) {
+	payload, err := readBlob(c.manifestPath(key), key)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, key, err)
+	}
+	return &m, nil
+}
+
+// StoreManifest writes the manifest for a fleet key and garbage-collects
+// group entries the previous manifest for the same fleet referenced but
+// the new one no longer does (superseded by re-keyed groups).
+func (c *Cache) StoreManifest(key string, m *Manifest) error {
+	prev, err := c.LoadManifest(key)
+	if err != nil && !errors.Is(err, ErrMiss) && !errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(m); err != nil {
+		return fmt.Errorf("s1cache: store: %w", err)
+	}
+	if err := c.writeBlob(c.manifestPath(key), key, payload.Bytes()); err != nil {
+		return err
+	}
+	if prev != nil {
+		live := make(map[string]bool, len(m.Groups))
+		for _, g := range m.Groups {
+			live[g.Key] = true
+		}
+		for _, g := range prev.Groups {
+			if !live[g.Key] {
+				os.Remove(c.groupPath(g.Key)) // best-effort GC
+			}
+		}
 	}
 	return nil
 }

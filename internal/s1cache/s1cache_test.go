@@ -12,10 +12,10 @@ import (
 	"vega/internal/template"
 )
 
-// testSnapshot builds a small hand-rolled snapshot exercising every
+// testEntry builds a small hand-rolled group entry exercising every
 // serialized field: patterns with placeholders, per-target token maps,
 // properties, and per-target feature values.
-func testSnapshot() *Snapshot {
+func testEntry() *GroupEntry {
 	ft := &template.FunctionTemplate{
 		Name: "getRelocType", Module: "EMI",
 		Targets: []string{"ARM", "MIPS"},
@@ -50,57 +50,57 @@ func testSnapshot() *Snapshot {
 			},
 		},
 	}
-	return &Snapshot{Groups: []Group{
-		{FuncName: "getRelocType", Targets: []string{"ARM", "MIPS"}, FT: ft, TF: tf},
-	}}
+	return &GroupEntry{FuncName: "getRelocType", Targets: []string{"ARM", "MIPS"}, FT: ft, TF: tf}
 }
 
-func TestStoreLoadRoundTrip(t *testing.T) {
+func TestGroupStoreLoadRoundTrip(t *testing.T) {
 	c := &Cache{Dir: t.TempDir()}
-	snap := testSnapshot()
-	if err := c.Store("k1", snap); err != nil {
+	e := testEntry()
+	if err := c.StoreGroup("k1", e); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Load("k1")
+	got, err := c.LoadGroup("k1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Groups) != 1 {
-		t.Fatalf("groups = %d", len(got.Groups))
+	if got.FuncName != e.FuncName || !reflect.DeepEqual(got.Targets, e.Targets) {
+		t.Fatalf("identity round-trip mismatch: %+v", got)
 	}
-	g := got.Groups[0]
-	if g.TF.FT != g.FT {
+	if got.TF.FT != got.FT {
 		t.Fatal("TF.FT not relinked to the loaded template")
 	}
-	if !reflect.DeepEqual(g.FT, snap.Groups[0].FT) {
-		t.Fatalf("template round-trip mismatch:\n got %+v\nwant %+v", g.FT, snap.Groups[0].FT)
+	if !reflect.DeepEqual(got.FT, e.FT) {
+		t.Fatalf("template round-trip mismatch:\n got %+v\nwant %+v", got.FT, e.FT)
 	}
-	if !reflect.DeepEqual(g.TF.Props, snap.Groups[0].TF.Props) ||
-		!reflect.DeepEqual(g.TF.Targets, snap.Groups[0].TF.Targets) ||
-		!reflect.DeepEqual(g.TF.VarProps, snap.Groups[0].TF.VarProps) {
+	if !reflect.DeepEqual(got.TF.Props, e.TF.Props) ||
+		!reflect.DeepEqual(got.TF.Targets, e.TF.Targets) ||
+		!reflect.DeepEqual(got.TF.VarProps, e.TF.VarProps) {
 		t.Fatal("feature round-trip mismatch")
 	}
-	// Store must not have mutated the caller's snapshot (the TF.FT
+	// StoreGroup must not have mutated the caller's entry (the TF.FT
 	// detach works on a shallow copy).
-	if snap.Groups[0].TF.FT != snap.Groups[0].FT {
-		t.Fatal("Store detached the caller's TF.FT pointer")
+	if e.TF.FT != e.FT {
+		t.Fatal("StoreGroup detached the caller's TF.FT pointer")
 	}
 }
 
-func TestLoadMiss(t *testing.T) {
+func TestLoadGroupMiss(t *testing.T) {
 	c := &Cache{Dir: t.TempDir()}
-	if _, err := c.Load("nope"); !errors.Is(err, ErrMiss) {
+	if _, err := c.LoadGroup("nope"); !errors.Is(err, ErrMiss) {
 		t.Fatalf("err = %v, want ErrMiss", err)
 	}
+	if _, err := c.LoadManifest("nope"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("manifest err = %v, want ErrMiss", err)
+	}
 }
 
-func TestLoadCorrupt(t *testing.T) {
+func TestLoadGroupCorrupt(t *testing.T) {
 	dir := t.TempDir()
 	c := &Cache{Dir: dir}
-	if err := c.Store("k", testSnapshot()); err != nil {
+	if err := c.StoreGroup("k", testEntry()); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, "k.s1")
+	path := filepath.Join(dir, "k.s1g")
 	pristine, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -134,49 +134,163 @@ func TestLoadCorrupt(t *testing.T) {
 			if err := os.WriteFile(path, tc.mut(append([]byte{}, pristine...)), 0o644); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := c.Load("k"); !errors.Is(err, ErrCorrupt) {
+			if _, err := c.LoadGroup("k"); !errors.Is(err, ErrCorrupt) {
 				t.Fatalf("err = %v, want ErrCorrupt", err)
 			}
 		})
 	}
 
-	// Overwriting with a fresh Store heals the entry.
-	if err := c.Store("k", testSnapshot()); err != nil {
+	// Overwriting with a fresh StoreGroup heals the entry.
+	if err := c.StoreGroup("k", testEntry()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Load("k"); err != nil {
+	if _, err := c.LoadGroup("k"); err != nil {
 		t.Fatalf("load after re-store: %v", err)
 	}
 }
 
-func TestKeySensitivity(t *testing.T) {
+func TestManifestRoundTripAndGC(t *testing.T) {
+	c := &Cache{Dir: t.TempDir()}
+	if err := c.StoreGroup("g1", testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreGroup("g2", testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	m1 := &Manifest{Groups: []ManifestGroup{
+		{FuncName: "getRelocType", Key: "g1"},
+		{FuncName: "other", Key: "g2"},
+	}}
+	if err := c.StoreManifest("fleet", m1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.LoadManifest("fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m1) {
+		t.Fatalf("manifest round-trip mismatch: %+v", got)
+	}
+
+	// A new manifest for the same fleet that drops g2 (re-keyed group)
+	// garbage-collects the superseded entry but keeps the live one.
+	if err := c.StoreGroup("g3", testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	m2 := &Manifest{Groups: []ManifestGroup{
+		{FuncName: "getRelocType", Key: "g1"},
+		{FuncName: "other", Key: "g3"},
+	}}
+	if err := c.StoreManifest("fleet", m2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadGroup("g2"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("superseded entry not collected: %v", err)
+	}
+	if _, err := c.LoadGroup("g1"); err != nil {
+		t.Fatalf("live entry collected: %v", err)
+	}
+	if _, err := c.LoadGroup("g3"); err != nil {
+		t.Fatalf("new entry collected: %v", err)
+	}
+}
+
+// TestGroupKeySensitivity pins the incremental-invalidation contract:
+// a group's key moves only when that group's own inputs move.
+func TestGroupKeySensitivity(t *testing.T) {
 	c, err := corpus.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := KeyConfig{Seed: 1, TrainFraction: 0.75}
-	k1 := Key(c, base)
-	if k2 := Key(c, base); k2 != k1 {
-		t.Fatal("key not deterministic for identical inputs")
+	var names []string
+	for _, spec := range c.Targets {
+		names = append(names, spec.Name)
 	}
-	if k := Key(c, KeyConfig{Seed: 2, TrainFraction: 0.75}); k == k1 {
-		t.Fatal("seed change did not change the key")
+	core, byTarget := TreeHashes(c.Tree, names)
+	fn, ok := corpus.FuncByName("getRelocType")
+	if !ok {
+		t.Fatal("no getRelocType")
 	}
-	if k := Key(c, KeyConfig{Seed: 1, TrainFraction: 0.5}); k == k1 {
-		t.Fatal("train-fraction change did not change the key")
+	gs := c.GroupSource(fn)
+	k1 := GroupKey(fn.Name, string(fn.Module), gs.Targets, gs.Sources, byTarget, core)
+	if k2 := GroupKey(fn.Name, string(fn.Module), gs.Targets, gs.Sources, byTarget, core); k2 != k1 {
+		t.Fatal("group key not deterministic")
 	}
-	if k := Key(c, KeyConfig{Seed: 1, TrainFraction: 0.75, SplitByBackend: true}); k == k1 {
-		t.Fatal("split-mode change did not change the key")
+
+	// Mutating one member's source changes the key...
+	mut := append([]string(nil), gs.Sources...)
+	mut[0] += "\n"
+	if k := GroupKey(fn.Name, string(fn.Module), gs.Targets, mut, byTarget, core); k == k1 {
+		t.Fatal("member source change did not change the group key")
 	}
-	c2, err := corpus.Build()
+	// ...as does a different function identity...
+	if k := GroupKey("other", string(fn.Module), gs.Targets, gs.Sources, byTarget, core); k == k1 {
+		t.Fatal("function identity did not participate in the key")
+	}
+	// ...and an edit to a member's description files...
+	c.Tree.Add("lib/Target/"+gs.Targets[0]+"/Extra.td", "def Extra;")
+	core2, byTarget2 := TreeHashes(c.Tree, names)
+	if core2 != core {
+		t.Fatal("target-owned file changed the core hash")
+	}
+	if byTarget2[gs.Targets[0]] == byTarget[gs.Targets[0]] {
+		t.Fatal("target tree hash insensitive to its own files")
+	}
+	if k := GroupKey(fn.Name, string(fn.Module), gs.Targets, gs.Sources, byTarget2, core2); k == k1 {
+		t.Fatal("member .td change did not change the group key")
+	}
+	// ...but another target's description files leave it untouched.
+	other := ""
+	for _, n := range names {
+		inGroup := false
+		for _, g := range gs.Targets {
+			if g == n {
+				inGroup = true
+			}
+		}
+		if !inGroup {
+			other = n
+			break
+		}
+	}
+	if other != "" {
+		c2, err := corpus.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2.Tree.Add("lib/Target/"+other+"/Extra.td", "def Extra;")
+		core3, byTarget3 := TreeHashes(c2.Tree, names)
+		if k := GroupKey(fn.Name, string(fn.Module), gs.Targets, gs.Sources, byTarget3, core3); k != k1 {
+			t.Fatal("non-member .td change invalidated the group")
+		}
+	}
+
+	// A core-tree edit invalidates every group.
+	c3, err := corpus.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if k := Key(c2, base); k != k1 {
-		t.Fatal("key differs across identical corpus builds")
+	c3.Tree.Add("llvm/CodeGen/Extra.h", "class Extra {};")
+	core4, byTarget4 := TreeHashes(c3.Tree, names)
+	if core4 == core {
+		t.Fatal("core edit did not change the core hash")
 	}
-	c2.Tree.Add("lib/Target/ARM/Extra.td", "def Extra;")
-	if k := Key(c2, base); k == k1 {
-		t.Fatal("source-tree change did not change the key")
+	if k := GroupKey(fn.Name, string(fn.Module), gs.Targets, gs.Sources, byTarget4, core4); k == k1 {
+		t.Fatal("core change did not change the group key")
+	}
+}
+
+func TestFleetKeySensitivity(t *testing.T) {
+	funcs := []string{"a", "b"}
+	targets := []string{"ARM", "Mips"}
+	k1 := FleetKey(funcs, targets)
+	if k := FleetKey(funcs, targets); k != k1 {
+		t.Fatal("fleet key not deterministic")
+	}
+	if k := FleetKey([]string{"a"}, targets); k == k1 {
+		t.Fatal("function-set change did not change the fleet key")
+	}
+	if k := FleetKey(funcs, []string{"ARM", "Mips", "X86"}); k == k1 {
+		t.Fatal("fleet change did not change the fleet key")
 	}
 }

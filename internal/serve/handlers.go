@@ -162,7 +162,9 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
 		return
 	}
-	if corpus.FindTarget(req.Target) == nil {
+	// Validate against the snapshot's actual fleet (which may be the
+	// extended one), not the package-level standard target list.
+	if s.holder.Current().Pipeline.FindTarget(req.Target) == nil {
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown target %q", req.Target), 0)
 		return
 	}
@@ -455,7 +457,7 @@ type targetJSON struct {
 func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
 	snap := s.holder.Current()
 	out := targetsJSON{Modules: moduleNames()}
-	for _, t := range corpus.Targets() {
+	for _, t := range snap.Pipeline.TargetSpecs() {
 		out.Targets = append(out.Targets, targetJSON{Name: t.Name, Eval: t.Eval})
 	}
 	for _, g := range snap.Pipeline.Groups {

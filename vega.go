@@ -73,6 +73,15 @@ func BuildCorpus() (*Corpus, error) { return corpus.Build() }
 // corpus.
 func NewPipeline(c *Corpus, cfg Config) (*Pipeline, error) { return core.New(c, cfg) }
 
+// NewStreamingPipeline runs Stage 1 over a streaming corpus provider
+// (e.g. corpus.NewStream(corpus.FamilyTargets())): function groups are
+// rendered on demand instead of held resident, so memory stays bounded
+// by one group regardless of fleet size. Output is byte-identical to
+// NewPipeline over the equivalent resident corpus.
+func NewStreamingPipeline(pr corpus.Provider, cfg Config) (*Pipeline, error) {
+	return core.NewFromProvider(pr, cfg)
+}
+
 // Evaluate scores a generated backend against its reference with the
 // regression harness (pass@1, statement accuracy, error taxonomy).
 func Evaluate(p *Pipeline, b *Backend) *Report {
@@ -80,7 +89,8 @@ func Evaluate(p *Pipeline, b *Backend) *Report {
 	for _, g := range p.Groups {
 		templates[g.Func.Name] = g.FT
 	}
-	return eval.EvaluateBackend(b, p.Corpus.Backends[b.Target], templates)
+	ref, _ := p.ReferenceBackend(b.Target)
+	return eval.EvaluateBackend(b, ref, templates)
 }
 
 // EvalTargets lists the held-out targets, in the paper's order.
