@@ -6,10 +6,10 @@
 GO ?= go
 
 .PHONY: check lint vet fmt-check test test-race obs-race kernels-race \
-	quant-race stage1-race corpus-race serve-race repair-race build bench \
-	bench-stage1 bench-stage2 bench-stage3 bench-repair
+	attn-race quant-race stage1-race corpus-race serve-race repair-race \
+	build bench bench-stage1 bench-stage2 bench-stage3 bench-repair
 
-check: lint obs-race kernels-race quant-race stage1-race corpus-race serve-race repair-race test-race
+check: lint obs-race kernels-race attn-race quant-race stage1-race corpus-race serve-race repair-race test-race
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,17 @@ obs-race:
 kernels-race:
 	$(GO) test -race ./internal/tensor
 	$(GO) test -race -run 'LossBatch|FitWorkersDeterministic|Kernel' ./internal/model
+
+# Attention-kernel suite under the race detector: the head-contiguous
+# score/weighted-sum kernels against their naive and strided (full-width
+# DotColumns/MulRowInto) references in tensor, plus the model layer's
+# layout differentials — grow-at-MaxSeq boundary, cloneKV headroom under
+# mid-growth beam branching, and decode bit-identity across kernel
+# worker counts. Fails fast when a layout or kernel change breaks the
+# bit-exact seam.
+attn-race:
+	$(GO) test -race -run 'Attn' ./internal/tensor
+	$(GO) test -race -run 'KVGrow|CloneKV|CloneQuantized|KernelWorkerBit|IncrementalDecoderClone|CachedMatchesUncached' ./internal/model
 
 # Int8 quantization suite under the race detector: the quantize/int8
 # matmul differentials and their worker-count bit-identity in tensor,

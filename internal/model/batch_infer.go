@@ -96,6 +96,11 @@ func (t *Transformer) EncodeBatch(inputs [][]int, quantized bool) [][]float32 {
 	so := getBuf(rows * dim)
 	f := getBuf(rows * ffw)
 	scores := getBuf(maxRows)
+	// Head-contiguous repack buffers for one sample's K/V (see
+	// attendRowsPre): each sample's full-width projection rows are packed
+	// into per-head dense blocks before attending.
+	khb := getBuf(maxRows * dim)
+	vhb := getBuf(maxRows * dim)
 	smax, gelu := softmaxRow, geluRow
 	if qv != nil {
 		smax, gelu = qSoftmaxRow, qGeluRow
@@ -113,6 +118,14 @@ func (t *Transformer) EncodeBatch(inputs [][]int, quantized bool) [][]float32 {
 			qLinearRowsFwdPre(dst, qm, qls[i])
 		}
 	}
+	heads := 0
+	for _, l := range t.Enc {
+		if l.Attn.Heads > heads {
+			heads = l.Attn.Heads
+		}
+	}
+	kviews := make([][]float32, heads)
+	vviews := make([][]float32, heads)
 	for li, l := range t.Enc {
 		var qe *qEncoderLayer
 		if qv != nil {
@@ -130,11 +143,16 @@ func (t *Transformer) EncodeBatch(inputs [][]int, quantized bool) [][]float32 {
 		for i := range attn {
 			attn[i] = 0
 		}
+		dh := l.Attn.D / l.Attn.Heads
+		kv := kviews[:l.Attn.Heads]
+		vv := vviews[:l.Attn.Heads]
 		for s := 0; s < n; s++ {
 			lo, hi := offs[s], offs[s+1]
-			attendRowsPre(attn[lo*dim:hi*dim],
-				qp[lo*dim:hi*dim], kp[lo*dim:hi*dim], vp[lo*dim:hi*dim],
-				scores, hi-lo, hi-lo, l.Attn, smax)
+			m := hi - lo
+			packHeads(kv, khb, kp[lo*dim:hi*dim], m, l.Attn.Heads, dh)
+			packHeads(vv, vhb, vp[lo*dim:hi*dim], m, l.Attn.Heads, dh)
+			attendRowsPre(attn[lo*dim:hi*dim], qp[lo*dim:hi*dim],
+				kv, vv, scores, m, m, l.Attn, smax)
 		}
 		if qe != nil {
 			qlin(attn, dim, [][]float32{so}, []*qLin{&qe.attn.wo})
@@ -166,7 +184,7 @@ func (t *Transformer) EncodeBatch(inputs [][]int, quantized bool) [][]float32 {
 	}
 	out := make([]float32, rows*dim)
 	layerNormRows(out, x, rows, t.NormE.Gain.Data, t.NormE.Bias.Data)
-	for _, b := range [][]float32{x, h, qp, kp, vp, attn, so, f, scores} {
+	for _, b := range [][]float32{x, h, qp, kp, vp, attn, so, f, scores, khb, vhb} {
 		putBuf(b)
 	}
 	mems := make([][]float32, n)

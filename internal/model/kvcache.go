@@ -59,19 +59,24 @@ type IncrementalDecoder struct {
 // returns aliases one of them.
 type decScratch struct {
 	x, h, q, attn, o, st []float32
+	k, v                 []float32 // full-width K/V projection rows, scattered per head
 	f                    []float32 // feed-forward hidden row
 	scores               []float32 // attention scores, MaxSeq wide
 	logits               []float32
 	qrow                 []int8 // quantized-activation row (quant path)
 }
 
-// decLayerCache holds one decoder layer's attention state. crossK/crossV
-// are computed once per sequence and shared (read-only) across clones;
-// selfK/selfV grow by one D-wide row per fed token and are copied on
-// Clone.
+// decLayerCache holds one decoder layer's attention state, head-major:
+// one dense ctxLen×dh block per head, so attention scores and weighted
+// sums run the dense tensor.AttnScoresInto/AttnWeightedSumInto kernels
+// instead of strided dots over full-width rows. crossK/crossV are
+// computed once per sequence and shared (read-only) across clones;
+// selfK/selfV grow by one dh-wide row per head per fed token and are
+// copied on Clone. Each head's block grows independently (growKV), so
+// capacity doubling never repacks across heads.
 type decLayerCache struct {
-	selfK, selfV   []float32 // pos×D, appended per step
-	crossK, crossV []float32 // memR×D, fixed per sequence
+	selfK, selfV   [][]float32 // per head: pos×dh, appended per step
+	crossK, crossV [][]float32 // per head: memR×dh, fixed per sequence
 }
 
 // NewIncrementalDecoder runs the encoder over input and precomputes the
@@ -99,20 +104,30 @@ func (t *Transformer) NewIncrementalDecoderFromMemory(mem []float32, quantized b
 		qm = getQa()
 		tensor.QuantizeRowsInto(qm, mem, d.memR, t.Cfg.Dim)
 	}
+	// The cross projections are computed full-width (one batched kernel
+	// call over the memory rows), then repacked into per-head dense
+	// blocks; tmp is reused across layers.
+	tmp := make([]float32, d.memR*t.Cfg.Dim)
 	for li, l := range t.Dec {
+		dh := l.Cross.D / l.Cross.Heads
 		if d.quant != nil {
-			d.layers[li].crossK = make([]float32, d.memR*t.Cfg.Dim)
-			d.layers[li].crossV = make([]float32, d.memR*t.Cfg.Dim)
-			qLinearRowsFwdPre(d.layers[li].crossK, qm, &d.quant.dec[li].cross.wk)
-			qLinearRowsFwdPre(d.layers[li].crossV, qm, &d.quant.dec[li].cross.wv)
+			qLinearRowsFwdPre(tmp, qm, &d.quant.dec[li].cross.wk)
+			d.layers[li].crossK = splitHeads(tmp, d.memR, l.Cross.Heads, dh)
+			qLinearRowsFwdPre(tmp, qm, &d.quant.dec[li].cross.wv)
+			d.layers[li].crossV = splitHeads(tmp, d.memR, l.Cross.Heads, dh)
 		} else {
-			d.layers[li].crossK = linearRowsFwd(mem, d.memR, l.Cross.WK)
-			d.layers[li].crossV = linearRowsFwd(mem, d.memR, l.Cross.WV)
+			linearRowsFwdInto(tmp, mem, d.memR, l.Cross.WK)
+			d.layers[li].crossK = splitHeads(tmp, d.memR, l.Cross.Heads, dh)
+			linearRowsFwdInto(tmp, mem, d.memR, l.Cross.WV)
+			d.layers[li].crossV = splitHeads(tmp, d.memR, l.Cross.Heads, dh)
 		}
-		// selfK/selfV start empty and grow on demand (growKV): typical
-		// decodes emit far fewer than MaxSeq tokens, so pre-sizing to the
-		// MaxSeq·Dim bound wasted ~8× the memory a real decode touches and
-		// made decoder construction the dominant allocation site.
+		// selfK/selfV start as empty per-head blocks and grow on demand
+		// (growKV): typical decodes emit far fewer than MaxSeq tokens, so
+		// pre-sizing to the MaxSeq·Dim bound wasted ~8× the memory a real
+		// decode touches and made decoder construction the dominant
+		// allocation site.
+		d.layers[li].selfK = make([][]float32, l.Self.Heads)
+		d.layers[li].selfV = make([][]float32, l.Self.Heads)
 	}
 	if qm != nil {
 		qaPool.Put(qm)
@@ -126,30 +141,60 @@ func (t *Transformer) NewIncrementalDecoderFromMemory(mem []float32, quantized b
 // full precision by callers that need exactness.
 func (d *IncrementalDecoder) Ambiguous() bool { return d.ambiguous }
 
-// Clone branches the decoder: the growing self-attention rows are
-// copied, the per-sequence memory projections are shared.
+// Clone branches the decoder: the growing self-attention blocks are
+// copied per head, the per-sequence memory projections are shared.
 func (d *IncrementalDecoder) Clone() *IncrementalDecoder {
 	c := &IncrementalDecoder{t: d.t, memR: d.memR, pos: d.pos,
 		quant: d.quant, ambiguous: d.ambiguous}
 	c.layers = make([]decLayerCache, len(d.layers))
-	dim := d.t.Cfg.Dim
-	for i := range d.layers {
+	for i, l := range d.t.Dec {
 		c.layers[i].crossK = d.layers[i].crossK
 		c.layers[i].crossV = d.layers[i].crossV
-		// Copy with one row of headroom so the clone's first Step doesn't
-		// immediately reallocate; beyond that it grows like any decoder.
-		c.layers[i].selfK = cloneKV(d.layers[i].selfK, dim)
-		c.layers[i].selfV = cloneKV(d.layers[i].selfV, dim)
+		// Copy with one row of headroom per head so the clone's first Step
+		// doesn't immediately reallocate; beyond that it grows like any
+		// decoder.
+		dh := l.Self.D / l.Self.Heads
+		c.layers[i].selfK = cloneKV(d.layers[i].selfK, dh)
+		c.layers[i].selfV = cloneKV(d.layers[i].selfV, dh)
 	}
 	return c
 }
 
-// cloneKV copies a growing K/V cache with headroom for one more row.
-func cloneKV(s []float32, dim int) []float32 {
-	if len(s) == 0 {
-		return nil
+// cloneKV copies a head-contiguous K/V cache: each head's dense block is
+// copied with headroom for one more dh-wide row.
+func cloneKV(s [][]float32, dh int) [][]float32 {
+	c := make([][]float32, len(s))
+	for h, blk := range s {
+		if len(blk) == 0 {
+			continue
+		}
+		c[h] = append(make([]float32, 0, len(blk)+dh), blk...)
 	}
-	return append(make([]float32, 0, len(s)+dim), s...)
+	return c
+}
+
+// splitHeads repacks n full-width rows (n×(heads·dh), row-major) into
+// per-head dense n×dh blocks carved from one fresh backing array.
+func splitHeads(src []float32, n, heads, dh int) [][]float32 {
+	buf := make([]float32, n*heads*dh)
+	views := make([][]float32, heads)
+	packHeads(views, buf, src, n, heads, dh)
+	return views
+}
+
+// packHeads is splitHeads into caller-provided storage: buf must hold
+// n·heads·dh floats and views heads entries. The batched encoder calls
+// it with pooled buffers.
+func packHeads(views [][]float32, buf, src []float32, n, heads, dh int) {
+	d := heads * dh
+	for h := 0; h < heads; h++ {
+		blk := buf[h*n*dh : (h+1)*n*dh]
+		off := h * dh
+		for i := 0; i < n; i++ {
+			copy(blk[i*dh:(i+1)*dh], src[i*d+off:i*d+off+dh])
+		}
+		views[h] = blk
+	}
 }
 
 // growKV extends a K/V cache to need elements, doubling the backing
@@ -190,6 +235,7 @@ func (d *IncrementalDecoder) scratch() *decScratch {
 			x: make([]float32, dim), h: make([]float32, dim),
 			q: make([]float32, dim), attn: make([]float32, dim),
 			o: make([]float32, dim), st: make([]float32, dim),
+			k: make([]float32, dim), v: make([]float32, dim),
 			f:      make([]float32, ffw),
 			scores: make([]float32, t.Cfg.MaxSeq),
 			logits: make([]float32, t.Cfg.Vocab),
@@ -243,25 +289,31 @@ func (d *IncrementalDecoder) Step(token int) []float32 {
 			qd = &d.quant.dec[li]
 		}
 
-		// Self attention: project the new row, extend the cache, attend
-		// over every cached position. The newest row is never masked, so
-		// the causal softmax degenerates to a plain one.
+		// Self attention: project the new row, scatter its K/V into each
+		// head's dense block, attend over every cached position. The
+		// newest row is never masked, so the causal softmax degenerates to
+		// a plain one.
 		layerNormRow(h, x, l.N1.Gain.Data, l.N1.Bias.Data)
-		n := len(lc.selfK)
-		lc.selfK = growKV(lc.selfK, n+dim)
-		lc.selfV = growKV(lc.selfV, n+dim)
 		if qd != nil {
 			// One quantization of h serves all three projections.
 			qa := s.qrow[:dim]
 			var sa float32
 			tensor.QuantizeRowInto(qa, h, &sa)
 			qMulRowPre(s.q, qa, sa, &qd.self.wq)
-			qMulRowPre(lc.selfK[n:], qa, sa, &qd.self.wk)
-			qMulRowPre(lc.selfV[n:], qa, sa, &qd.self.wv)
+			qMulRowPre(s.k, qa, sa, &qd.self.wk)
+			qMulRowPre(s.v, qa, sa, &qd.self.wv)
 		} else {
 			linearRowFwdInto(s.q, h, l.Self.WQ)
-			linearRowFwdInto(lc.selfK[n:], h, l.Self.WK)
-			linearRowFwdInto(lc.selfV[n:], h, l.Self.WV)
+			linearRowFwdInto(s.k, h, l.Self.WK)
+			linearRowFwdInto(s.v, h, l.Self.WV)
+		}
+		dh := l.Self.D / l.Self.Heads
+		n := pos * dh
+		for hd := range lc.selfK {
+			lc.selfK[hd] = growKV(lc.selfK[hd], n+dh)
+			lc.selfV[hd] = growKV(lc.selfV[hd], n+dh)
+			copy(lc.selfK[hd][n:], s.k[hd*dh:(hd+1)*dh])
+			copy(lc.selfV[hd][n:], s.v[hd*dh:(hd+1)*dh])
 		}
 		attendRowInto(s.attn, s.scores, s.q, lc.selfK, lc.selfV, pos+1, l.Self, smax)
 		if qd != nil {
@@ -405,14 +457,6 @@ func mulRowsInto(out, a, b []float32, rows, cols, stride, off int) {
 	tensor.MulRowInto(out, a, b, rows, cols, stride, off)
 }
 
-// dotColumns accumulates out[j] += a[p]·b[j*stride+off+p] — a row times
-// the transpose of a sub-matrix of b, in the per-element term order
-// MatMul(a, Transpose(b)) produces after materializing the transpose.
-// out must start zeroed (every caller zeroes its scores scratch first).
-func dotColumns(out, a, b []float32, outer, rows, off, cols int) {
-	tensor.DotColumns(out, a, b, outer, rows, off, cols)
-}
-
 // linearRowFwdInto computes x·W + b for one row into out, mirroring
 // Linear.Apply.
 func linearRowFwdInto(out, x []float32, l *Linear) {
@@ -449,12 +493,16 @@ func linearRowsFwdInto(out, x []float32, n int, l *Linear) {
 }
 
 // attendRowInto runs multi-head attention for a single query row over
-// ctxLen cached full-width K/V rows into out: per head, scores → scale →
-// softmax → weighted sum, written into the head's slice of the output
-// (the HConcat layout). scores is caller-provided scratch of at least
-// ctxLen elements. smax is the softmax to apply per head — softmaxRow on
-// the exact float32 path, qSoftmaxRow on the quantized one.
-func attendRowInto(out, scores, q, k, v []float32, ctxLen int, m *MHA, smax func([]float32)) {
+// ctxLen cached head-contiguous K/V blocks into out: per head, scores →
+// scale → softmax → weighted sum, written into the head's slice of the
+// output (the HConcat layout). k and v hold one dense ctxLen×dh block
+// per head. scores is caller-provided scratch of at least ctxLen
+// elements. smax is the softmax to apply per head — softmaxRow on the
+// exact float32 path, qSoftmaxRow on the quantized one. The dense
+// kernels produce the same bits as the strided DotColumns/MulRowInto
+// pass over full-width rows (attn_test.go in internal/tensor pins the
+// seam), so this layout change is invisible in the outputs.
+func attendRowInto(out, scores, q []float32, k, v [][]float32, ctxLen int, m *MHA, smax func([]float32)) {
 	dh := m.D / m.Heads
 	scale := float32(1 / math.Sqrt(float64(dh)))
 	for j := range out {
@@ -463,53 +511,54 @@ func attendRowInto(out, scores, q, k, v []float32, ctxLen int, m *MHA, smax func
 	scores = scores[:ctxLen]
 	for h := 0; h < m.Heads; h++ {
 		off := h * dh
-		for j := range scores {
-			scores[j] = 0
-		}
-		dotColumns(scores, q[off:off+dh], k, ctxLen, m.D, off, dh)
+		tensor.AttnScoresInto(scores, q[off:off+dh], k[h], ctxLen, dh)
 		for j := range scores {
 			scores[j] *= scale
 		}
 		smax(scores)
-		mulRowsInto(out[off:off+dh], scores, v, ctxLen, dh, m.D, off)
+		tensor.AttnWeightedSumInto(out[off:off+dh], scores, v[h], ctxLen, dh)
 	}
 }
 
 // attendRows is attendRow over n query rows (the encoder's full
-// self-attention; no mask).
+// self-attention; no mask). The full-width K/V projections are repacked
+// head-contiguous once, then every query row attends via the dense
+// kernels.
 func attendRows(q, kv []float32, n, ctxLen int, m *MHA) []float32 {
 	qp := linearRowsFwd(q, n, m.WQ)
 	kp := linearRowsFwd(kv, ctxLen, m.WK)
 	vp := linearRowsFwd(kv, ctxLen, m.WV)
+	dh := m.D / m.Heads
+	kh := splitHeads(kp, ctxLen, m.Heads, dh)
+	vh := splitHeads(vp, ctxLen, m.Heads, dh)
 	out := make([]float32, n*m.D)
-	attendRowsPre(out, qp, kp, vp, make([]float32, ctxLen), n, ctxLen, m, softmaxRow)
+	attendRowsPre(out, qp, kh, vh, make([]float32, ctxLen), n, ctxLen, m, softmaxRow)
 	return out
 }
 
 // attendRowsPre is the attention core after the Q/K/V projections:
-// per-head scaled dot-product over already-projected rows, written into
-// out (which must start zeroed). Factored out so the batched inference
-// encoder can project all samples in one kernel call and attend each
-// sample over its own row range — the per-row math, and therefore the
-// floats, are identical either way. scores is caller scratch of at least
-// ctxLen elements. smax selects the per-head softmax (exact softmaxRow
-// vs the quantized path's qSoftmaxRow).
-func attendRowsPre(out, qp, kp, vp, scores []float32, n, ctxLen int, m *MHA, smax func([]float32)) {
+// per-head scaled dot-product of full-width query rows against
+// head-contiguous K/V blocks (one dense ctxLen×dh block per head),
+// written into out (which must start zeroed). Factored out so the
+// batched inference encoder can project all samples in one kernel call,
+// repack each sample's K/V head-major, and attend over its own row
+// range — the per-row math, and therefore the floats, are identical
+// either way. scores is caller scratch of at least ctxLen elements.
+// smax selects the per-head softmax (exact softmaxRow vs the quantized
+// path's qSoftmaxRow).
+func attendRowsPre(out, qp []float32, kh, vh [][]float32, scores []float32, n, ctxLen int, m *MHA, smax func([]float32)) {
 	dh := m.D / m.Heads
 	scale := float32(1 / math.Sqrt(float64(dh)))
 	scores = scores[:ctxLen]
 	for h := 0; h < m.Heads; h++ {
 		off := h * dh
 		for i := 0; i < n; i++ {
-			for j := range scores {
-				scores[j] = 0
-			}
-			dotColumns(scores, qp[i*m.D+off:i*m.D+off+dh], kp, ctxLen, m.D, off, dh)
+			tensor.AttnScoresInto(scores, qp[i*m.D+off:i*m.D+off+dh], kh[h], ctxLen, dh)
 			for j := range scores {
 				scores[j] *= scale
 			}
 			smax(scores)
-			mulRowsInto(out[i*m.D+off:i*m.D+off+dh], scores, vp, ctxLen, dh, m.D, off)
+			tensor.AttnWeightedSumInto(out[i*m.D+off:i*m.D+off+dh], scores, vh[h], ctxLen, dh)
 		}
 	}
 }

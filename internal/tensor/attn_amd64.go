@@ -1,0 +1,18 @@
+//go:build amd64
+
+package tensor
+
+// attnScores8AVX2 computes out[j] = Σ_p q[p]·k[j*dh+p] for j < n8 and
+// p < dh8 (n8 a multiple of 8 and ≥ 8, dh8 a multiple of 8 with
+// 8 ≤ dh8 ≤ dh; dh is the row stride in floats). The caller folds the
+// p ∈ [dh8, dh) tail and the j ≥ n8 rows in Go.
+//
+// Eight context rows advance together: each 8×8 tile of k is loaded
+// row-contiguously and transposed in registers, then the eight column
+// vectors are multiplied by broadcast q[p] and added to the eight
+// per-row accumulators in ascending p with VMULPS/VADDPS only (no FMA).
+// Every lane is a private sequential chain — one product rounding and
+// one add rounding per term, terms never regrouped — and q[p] == 0
+// skips the term in lockstep with the scalar loop, so the results are
+// bit-identical to the pure-Go reference.
+func attnScores8AVX2(out, q, k *float32, n8, dh8, dh int)

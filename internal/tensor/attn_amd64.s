@@ -1,0 +1,158 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func attnScores8AVX2(out, q, k *float32, n8, dh8, dh int)
+//
+// out[j] = sum over p < dh8 of q[p]*k[j*dh+p], for j < n8, eight rows
+// per outer iteration. Each 8x8 tile of k (eight rows, eight columns)
+// is loaded with contiguous VMOVUPS, transposed in registers
+// (VUNPCK/VSHUFPS/VPERM2F128), and the resulting column vectors are
+// accumulated in ascending p with separate VMULPS and VADDPS — one
+// rounding per product and per add, per lane, exactly like the scalar
+// loop — skipping columns whose q[p] is zero (including -0) in lockstep
+// with the scalar zero-skip.
+//
+// Register plan per tile: Y0-Y7 hold the eight k rows, then the shuffle
+// stage reuses them; Y8-Y15 hold unpack temporaries, then the eight
+// transposed columns (Y8..Y11 = p0..p0+3, Y12..Y15 = p0+4..p0+7). The
+// accumulator phase uses Y0 (acc, spilled to out between column
+// blocks), Y1 (broadcast q[p]) and Y2 (product).
+TEXT ·attnScores8AVX2(SB), NOSPLIT, $0-48
+	MOVQ out+0(FP), DI
+	MOVQ q+8(FP), DX
+	MOVQ k+16(FP), SI
+	MOVQ n8+24(FP), CX
+	MOVQ dh8+32(FP), R13
+	MOVQ dh+40(FP), R8
+	SHLQ $2, R13             // dh8 in bytes: the q/column byte bound
+	SHLQ $2, R8              // row stride in bytes
+
+rows8:
+	CMPQ CX, $8
+	JLT  done
+	XORQ BX, BX              // p0 byte offset into q and into each row
+
+cols8:
+	// Tile base R9 = &k[j0*dh + p0]; rows 3,5,6,7 need LEA temps since
+	// only *1/*2/*4/*8 scales exist.
+	LEAQ (SI)(BX*1), R9
+	VMOVUPS (R9), Y0
+	VMOVUPS (R9)(R8*1), Y1
+	VMOVUPS (R9)(R8*2), Y2
+	LEAQ (R9)(R8*2), R10
+	VMOVUPS (R10)(R8*1), Y3
+	VMOVUPS (R9)(R8*4), Y4
+	LEAQ (R9)(R8*4), R11
+	VMOVUPS (R11)(R8*1), Y5
+	VMOVUPS (R11)(R8*2), Y6
+	LEAQ (R11)(R8*2), R12
+	VMOVUPS (R12)(R8*1), Y7
+
+	// 8x8 transpose: rows r0..r7 (Y0..Y7) -> columns c0..c7 (Y8..Y15).
+	VUNPCKLPS Y1, Y0, Y8     // {r0[0] r1[0] r0[1] r1[1] | r0[4] r1[4] r0[5] r1[5]}
+	VUNPCKHPS Y1, Y0, Y9
+	VUNPCKLPS Y3, Y2, Y10
+	VUNPCKHPS Y3, Y2, Y11
+	VUNPCKLPS Y5, Y4, Y12
+	VUNPCKHPS Y5, Y4, Y13
+	VUNPCKLPS Y7, Y6, Y14
+	VUNPCKHPS Y7, Y6, Y15
+	VSHUFPS $0x44, Y10, Y8, Y0  // {r0[0] r1[0] r2[0] r3[0] | ...[4]}
+	VSHUFPS $0xEE, Y10, Y8, Y1  // column 1 | column 5 halves
+	VSHUFPS $0x44, Y11, Y9, Y2
+	VSHUFPS $0xEE, Y11, Y9, Y3
+	VSHUFPS $0x44, Y14, Y12, Y4 // rows 4..7 halves
+	VSHUFPS $0xEE, Y14, Y12, Y5
+	VSHUFPS $0x44, Y15, Y13, Y6
+	VSHUFPS $0xEE, Y15, Y13, Y7
+	VPERM2F128 $0x20, Y4, Y0, Y8   // column p0+0 across rows 0..7
+	VPERM2F128 $0x20, Y5, Y1, Y9   // p0+1
+	VPERM2F128 $0x20, Y6, Y2, Y10  // p0+2
+	VPERM2F128 $0x20, Y7, Y3, Y11  // p0+3
+	VPERM2F128 $0x31, Y4, Y0, Y12  // p0+4
+	VPERM2F128 $0x31, Y5, Y1, Y13  // p0+5
+	VPERM2F128 $0x31, Y6, Y2, Y14  // p0+6
+	VPERM2F128 $0x31, Y7, Y3, Y15  // p0+7
+
+	// Accumulator: zero on the first column block (the kernel
+	// overwrites out), otherwise resume the spilled chain.
+	TESTQ BX, BX
+	JNZ   loadacc
+	VXORPS Y0, Y0, Y0
+	JMP    acc0
+loadacc:
+	VMOVUPS (DI), Y0
+
+	// Eight terms in ascending p; q[p] == 0 (bits & 0x7FFFFFFF) skips.
+acc0:
+	MOVL 0(DX)(BX*1), AX
+	ANDL $0x7FFFFFFF, AX
+	JZ   acc1
+	VBROADCASTSS 0(DX)(BX*1), Y1
+	VMULPS Y8, Y1, Y2
+	VADDPS Y2, Y0, Y0
+acc1:
+	MOVL 4(DX)(BX*1), AX
+	ANDL $0x7FFFFFFF, AX
+	JZ   acc2
+	VBROADCASTSS 4(DX)(BX*1), Y1
+	VMULPS Y9, Y1, Y2
+	VADDPS Y2, Y0, Y0
+acc2:
+	MOVL 8(DX)(BX*1), AX
+	ANDL $0x7FFFFFFF, AX
+	JZ   acc3
+	VBROADCASTSS 8(DX)(BX*1), Y1
+	VMULPS Y10, Y1, Y2
+	VADDPS Y2, Y0, Y0
+acc3:
+	MOVL 12(DX)(BX*1), AX
+	ANDL $0x7FFFFFFF, AX
+	JZ   acc4
+	VBROADCASTSS 12(DX)(BX*1), Y1
+	VMULPS Y11, Y1, Y2
+	VADDPS Y2, Y0, Y0
+acc4:
+	MOVL 16(DX)(BX*1), AX
+	ANDL $0x7FFFFFFF, AX
+	JZ   acc5
+	VBROADCASTSS 16(DX)(BX*1), Y1
+	VMULPS Y12, Y1, Y2
+	VADDPS Y2, Y0, Y0
+acc5:
+	MOVL 20(DX)(BX*1), AX
+	ANDL $0x7FFFFFFF, AX
+	JZ   acc6
+	VBROADCASTSS 20(DX)(BX*1), Y1
+	VMULPS Y13, Y1, Y2
+	VADDPS Y2, Y0, Y0
+acc6:
+	MOVL 24(DX)(BX*1), AX
+	ANDL $0x7FFFFFFF, AX
+	JZ   acc7
+	VBROADCASTSS 24(DX)(BX*1), Y1
+	VMULPS Y14, Y1, Y2
+	VADDPS Y2, Y0, Y0
+acc7:
+	MOVL 28(DX)(BX*1), AX
+	ANDL $0x7FFFFFFF, AX
+	JZ   accdone
+	VBROADCASTSS 28(DX)(BX*1), Y1
+	VMULPS Y15, Y1, Y2
+	VADDPS Y2, Y0, Y0
+accdone:
+	VMOVUPS Y0, (DI)
+
+	ADDQ $32, BX
+	CMPQ BX, R13
+	JLT  cols8
+
+	LEAQ (SI)(R8*8), SI      // next eight rows
+	ADDQ $32, DI             // eight finished scores
+	SUBQ $8, CX
+	JMP  rows8
+
+done:
+	VZEROUPPER
+	RET

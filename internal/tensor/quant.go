@@ -58,9 +58,21 @@ func QuantizeRowsInto(q *QMat, src []float32, r, c int) {
 // whose ulp is 1, so the IEEE default rounding mode performs the
 // round-to-even, and the subtract recovers the integer exactly for
 // |v·inv| ≤ 127 ≪ 2²²).
+// The AVX2 fast path covers both passes — max(|·|) over 8 lanes, then a
+// multiply/VCVTPS2DQ/clamp/pack loop over 32 elements — and is
+// bit-identical to the scalar loops: max over non-negative floats is
+// order-free, and VCVTPS2DQ's round-to-nearest-even (default MXCSR) is
+// exactly what the magic-number trick computes for |x| ≤ 127.
 func QuantizeRowInto(dst []int8, src []float32, scale *float32) {
+	n := len(src)
 	var maxAbs float32
-	for _, v := range src {
+	i := 0
+	if useAVX2 && n >= 8 {
+		i = n &^ 7
+		maxAbs = maxAbsAVX2(&src[0], i)
+	}
+	for ; i < n; i++ {
+		v := src[i]
 		if v < 0 {
 			v = -v
 		}
@@ -69,25 +81,30 @@ func QuantizeRowInto(dst []int8, src []float32, scale *float32) {
 		}
 	}
 	if maxAbs == 0 {
-		for i := range dst {
-			dst[i] = 0
+		for j := range dst {
+			dst[j] = 0
 		}
 		*scale = 0
 		return
 	}
 	const magic = float32(3 << 22) // 1.5·2²³
 	inv := 127 / maxAbs
-	for i, v := range src {
+	j := 0
+	if useAVX2 && n >= 32 {
+		j = n &^ 31
+		quantizeRowAVX2(&dst[0], &src[0], j, inv)
+	}
+	for ; j < n; j++ {
 		// Explicit conversions force a rounding after every op: the spec
 		// lets implementations fuse float expressions (FMA), which would
 		// skip the intermediate rounding the magic trick depends on.
-		q := float32(float32(v*inv)+magic) - magic
+		q := float32(float32(src[j]*inv)+magic) - magic
 		if q > 127 {
 			q = 127
 		} else if q < -127 {
 			q = -127
 		}
-		dst[i] = int8(q)
+		dst[j] = int8(q)
 	}
 	*scale = maxAbs / 127
 }

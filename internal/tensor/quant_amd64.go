@@ -13,3 +13,14 @@ func dotInt8AVX2(a, b *int8, n int) int32
 // j < rows, n a multiple of 16 and ≥ 16. Four rows per outer iteration
 // share each sign-extended chunk of a; see quant_amd64.s.
 func dotInt8RowsAVX2(a, b *int8, acc *int32, rows, stride, n int)
+
+// maxAbsAVX2 returns max(|src[i]|) over i < n8, n8 a multiple of 8 and
+// ≥ 8. Bit-identical to the scalar scan for finite inputs: abs then a
+// lane-parallel max, which is order-free over non-negative floats.
+func maxAbsAVX2(src *float32, n8 int) float32
+
+// quantizeRowAVX2 writes dst[i] = clamp(rint(src[i]·inv), ±127) for
+// i < n32, n32 a multiple of 32 and ≥ 32. VCVTPS2DQ's round-to-nearest-
+// even equals the scalar magic-number round for every finite in-range
+// input, so the vector path is bit-identical to the scalar loop.
+func quantizeRowAVX2(dst *int8, src *float32, n32 int, inv float32)

@@ -126,3 +126,103 @@ k1loop:
 done:
 	VZEROUPPER
 	RET
+
+// Constants for the activation-quantize kernels: the sign-clearing abs
+// mask, the int32 clamp bounds, and the VPERMD pattern that undoes the
+// per-128-bit-lane interleave VPACKSSDW/VPACKSSWB produce.
+DATA qabsmask<>+0(SB)/4, $0x7FFFFFFF
+GLOBL qabsmask<>(SB), RODATA|NOPTR, $4
+DATA qclamphi<>+0(SB)/4, $127
+GLOBL qclamphi<>(SB), RODATA|NOPTR, $4
+DATA qclamplo<>+0(SB)/4, $-127
+GLOBL qclamplo<>(SB), RODATA|NOPTR, $4
+DATA qpackperm<>+0(SB)/4, $0
+DATA qpackperm<>+4(SB)/4, $4
+DATA qpackperm<>+8(SB)/4, $1
+DATA qpackperm<>+12(SB)/4, $5
+DATA qpackperm<>+16(SB)/4, $2
+DATA qpackperm<>+20(SB)/4, $6
+DATA qpackperm<>+24(SB)/4, $3
+DATA qpackperm<>+28(SB)/4, $7
+GLOBL qpackperm<>(SB), RODATA|NOPTR, $32
+
+// func maxAbsAVX2(src *float32, n8 int) float32
+// Max of |src[i]| over i < n8 (a multiple of 8 and ≥ 8). VANDPS clears
+// the sign bit, then VMAXPS folds eight lanes; max over non-negative
+// finite floats is order-free, so the lane-parallel fold equals the
+// scalar sequential max bit for bit. Operand order puts the accumulator
+// in VMAXPS's NaN-wins slot (src2) so a NaN input leaves the
+// accumulator unchanged, matching the scalar `v > maxAbs` comparison
+// (false for NaN).
+TEXT ·maxAbsAVX2(SB), NOSPLIT, $0-20
+	MOVQ src+0(FP), SI
+	MOVQ n8+8(FP), CX
+	VBROADCASTSS qabsmask<>(SB), Y2
+	VXORPS Y0, Y0, Y0
+maxloop:
+	VMOVUPS (SI), Y1
+	VANDPS Y2, Y1, Y1
+	VMAXPS Y0, Y1, Y0        // acc = max(data, acc); acc is src2
+	ADDQ $32, SI
+	SUBQ $8, CX
+	JNZ  maxloop
+	VEXTRACTF128 $1, Y0, X1
+	VMAXPS X0, X1, X0
+	VPSHUFD $0xEE, X0, X1
+	VMAXPS X0, X1, X0
+	VPSHUFD $0x55, X0, X1
+	VMAXPS X0, X1, X0
+	VMOVSS X0, ret+16(FP)
+	VZEROUPPER
+	RET
+
+// func quantizeRowAVX2(dst *int8, src *float32, n32 int, inv float32)
+// dst[i] = clamp(rint(src[i]·inv), ±127) for i < n32 (a multiple of 32
+// and ≥ 32). VMULPS rounds the product once — exactly the scalar
+// float32(v*inv) — and VCVTPS2DQ rounds to nearest-even under the
+// default MXCSR, which is precisely what the scalar magic-number trick
+// (±1.5·2²³) computes for |x| ≤ 127 ≪ 2²². Clamping in int32
+// (VPMINSD/VPMAXSD) matches the scalar float clamp because rint is
+// monotonic. Four 8-lane int32 vectors pack to 32 int8 via
+// VPACKSSDW×2 + VPACKSSWB (no saturation: values already in ±127),
+// then VPERMD restores element order across the 128-bit lanes.
+TEXT ·quantizeRowAVX2(SB), NOSPLIT, $0-28
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n32+16(FP), CX
+	VBROADCASTSS inv+24(FP), Y7
+	VPBROADCASTD qclamphi<>(SB), Y8
+	VPBROADCASTD qclamplo<>(SB), Y9
+	VMOVDQU qpackperm<>(SB), Y10
+quantloop:
+	VMOVUPS (SI), Y0
+	VMOVUPS 32(SI), Y1
+	VMOVUPS 64(SI), Y2
+	VMOVUPS 96(SI), Y3
+	VMULPS Y7, Y0, Y0
+	VMULPS Y7, Y1, Y1
+	VMULPS Y7, Y2, Y2
+	VMULPS Y7, Y3, Y3
+	VCVTPS2DQ Y0, Y0
+	VCVTPS2DQ Y1, Y1
+	VCVTPS2DQ Y2, Y2
+	VCVTPS2DQ Y3, Y3
+	VPMINSD Y8, Y0, Y0
+	VPMINSD Y8, Y1, Y1
+	VPMINSD Y8, Y2, Y2
+	VPMINSD Y8, Y3, Y3
+	VPMAXSD Y9, Y0, Y0
+	VPMAXSD Y9, Y1, Y1
+	VPMAXSD Y9, Y2, Y2
+	VPMAXSD Y9, Y3, Y3
+	VPACKSSDW Y1, Y0, Y0     // per lane: [x0..3 x8..11 | x4..7 x12..15] int16
+	VPACKSSDW Y3, Y2, Y2
+	VPACKSSWB Y2, Y0, Y0     // per lane dwords: [0 8 16 24 | 4 12 20 28]
+	VPERMD Y0, Y10, Y0       // {0,4,1,5,2,6,3,7} → ascending element order
+	VMOVDQU Y0, (DI)
+	ADDQ $128, SI
+	ADDQ $32, DI
+	SUBQ $32, CX
+	JNZ  quantloop
+	VZEROUPPER
+	RET

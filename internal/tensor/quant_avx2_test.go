@@ -1,0 +1,126 @@
+//go:build amd64
+
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// These tests pin the AVX2 quantize kernels to the pure-Go loops by
+// toggling the useAVX2 dispatch var — amd64-only, since elsewhere it is
+// a false constant and there is no second path to compare.
+
+func TestQuantizeRowAVX2MatchesScalar(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("AVX2 unavailable on this machine")
+	}
+	defer func() { useAVX2 = true }()
+	rng := rand.New(rand.NewSource(17))
+	sizes := []int{1, 7, 8, 9, 15, 16, 31, 32, 33, 63, 64, 65, 100, 127, 256, 1000}
+	for _, n := range sizes {
+		src := make([]float32, n)
+		fill(src, rng, 0.2)
+		if n > 2 {
+			src[1] = float32(math.Copysign(0, -1)) // -0 must not win the max scan
+		}
+
+		useAVX2 = false
+		wantDst := make([]int8, n)
+		var wantScale float32
+		QuantizeRowInto(wantDst, src, &wantScale)
+
+		useAVX2 = true
+		gotDst := make([]int8, n)
+		var gotScale float32
+		QuantizeRowInto(gotDst, src, &gotScale)
+
+		if math.Float32bits(gotScale) != math.Float32bits(wantScale) {
+			t.Fatalf("n=%d: scale %v (bits %x), scalar %v (bits %x)",
+				n, gotScale, math.Float32bits(gotScale), wantScale, math.Float32bits(wantScale))
+		}
+		for i := range wantDst {
+			if gotDst[i] != wantDst[i] {
+				t.Fatalf("n=%d element %d: avx2 %d scalar %d (src %v, inv %v)",
+					n, i, gotDst[i], wantDst[i], src[i], 127/wantScale/127)
+			}
+		}
+	}
+}
+
+// TestQuantizeRowAVX2RoundToEvenTies drives exact .5 grid points (inv=1
+// when maxAbs is 127) so a kernel that rounded half-away-from-zero
+// instead of to-nearest-even would be caught.
+func TestQuantizeRowAVX2RoundToEvenTies(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("AVX2 unavailable on this machine")
+	}
+	src := make([]float32, 64)
+	src[0] = 127 // pins maxAbs, so inv = 1 exactly
+	for i := 1; i < len(src); i++ {
+		v := float32(i%10) + 0.5
+		if i%2 == 0 {
+			v = -v
+		}
+		src[i] = v
+	}
+	dst := make([]int8, len(src))
+	var scale float32
+	QuantizeRowInto(dst, src, &scale)
+	for i, v := range src {
+		want := int8(math.RoundToEven(float64(v)))
+		if dst[i] != want {
+			t.Fatalf("element %d: %v quantized to %d, want %d", i, v, dst[i], want)
+		}
+	}
+}
+
+func TestQuantizeRowAVX2AllZero(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("AVX2 unavailable on this machine")
+	}
+	src := make([]float32, 96) // multiple of 32: pure vector path for max
+	src[40] = float32(math.Copysign(0, -1))
+	dst := make([]int8, len(src))
+	dst[3] = 99 // must be cleared
+	var scale float32 = 5
+	QuantizeRowInto(dst, src, &scale)
+	if scale != 0 {
+		t.Fatalf("all-zero row scale = %v, want 0", scale)
+	}
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("all-zero row dst[%d] = %d", i, v)
+		}
+	}
+}
+
+// Benchmarks at the shipped activation width (Dim=64); Scalar forces
+// the pure-Go loops through the dispatch var.
+
+func benchQuantizeRow(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(19))
+	src := make([]float32, n)
+	fill(src, rng, 0.1)
+	dst := make([]int8, n)
+	var scale float32
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		QuantizeRowInto(dst, src, &scale)
+	}
+}
+
+func BenchmarkQuantizeRow(b *testing.B) {
+	if !useAVX2 {
+		b.Skip("AVX2 unavailable on this machine")
+	}
+	benchQuantizeRow(b, 64)
+}
+
+func BenchmarkQuantizeRowScalar(b *testing.B) {
+	saved := useAVX2
+	useAVX2 = false
+	defer func() { useAVX2 = saved }()
+	benchQuantizeRow(b, 64)
+}

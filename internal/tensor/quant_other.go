@@ -12,3 +12,11 @@ func dotInt8AVX2(a, b *int8, n int) int32 {
 func dotInt8RowsAVX2(a, b *int8, acc *int32, rows, stride, n int) {
 	panic("tensor: dotInt8RowsAVX2 on non-amd64")
 }
+
+func maxAbsAVX2(src *float32, n8 int) float32 {
+	panic("tensor: maxAbsAVX2 on non-amd64")
+}
+
+func quantizeRowAVX2(dst *int8, src *float32, n32 int, inv float32) {
+	panic("tensor: quantizeRowAVX2 on non-amd64")
+}
